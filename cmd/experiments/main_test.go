@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunNoArgsListsAndSucceeds(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("bare invocation failed: %v", err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run([]string{"-run", "E16", "-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	// E16 is pure computation — fast enough for a unit test.
+	if err := run([]string{"-run", "E16", "-quick"}); err != nil {
+		t.Fatalf("quick E16 failed: %v", err)
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	if err := run([]string{"-run", "E16", "-quick", "-format", "json"}); err != nil {
+		t.Fatalf("json E16 failed: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command sweep runs the broadcast protocol over a grid of population
+// sizes and channel parameters, emitting CSV for plotting.
+//
+// Usage:
+//
+//	sweep -ns 1024,4096,16384 -epss 0.2,0.3,0.45 -seeds 5 > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"breathe/internal/channel"
+	"breathe/internal/core"
+	"breathe/internal/sim"
+	"breathe/internal/stats"
+	"breathe/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		nsFlag   = fs.String("ns", "1024,4096", "comma-separated population sizes")
+		epssFlag = fs.String("epss", "0.2,0.3", "comma-separated ε values")
+		seeds    = fs.Int("seeds", 5, "seeds per cell")
+		format   = fs.String("format", "csv", "csv | table | markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	epss, err := parseFloats(*epssFlag)
+	if err != nil {
+		return err
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+
+	tb := trace.NewTable("broadcast sweep",
+		"n", "eps", "rounds", "mean_messages", "success_rate", "mean_stage1_bias")
+	for _, n := range ns {
+		for _, eps := range epss {
+			if n < 2 || eps <= 0 || eps > 0.5 {
+				return fmt.Errorf("invalid cell n=%d eps=%v", n, eps)
+			}
+			params := core.DefaultParams(n, eps)
+			ch := channel.Channel(channel.Noiseless{})
+			if eps < 0.5 {
+				ch = channel.FromEpsilon(eps)
+			}
+			var msgs, bias stats.Running
+			success, rounds := 0, 0
+			for seed := 0; seed < *seeds; seed++ {
+				p, err := core.NewBroadcast(params, channel.One)
+				if err != nil {
+					return err
+				}
+				res, err := sim.Run(sim.Config{N: n, Channel: ch, Seed: uint64(seed)}, p)
+				if err != nil {
+					return err
+				}
+				rounds = res.Rounds
+				msgs.Add(float64(res.MessagesSent))
+				bias.Add(p.Telemetry().BiasAfterStageI)
+				if res.AllCorrect(channel.One) {
+					success++
+				}
+			}
+			tb.AddRowValues(n, eps, rounds, msgs.Mean(),
+				float64(success)/float64(*seeds), bias.Mean())
+		}
+	}
+	switch *format {
+	case "csv":
+		return tb.WriteCSV(os.Stdout)
+	case "table":
+		return tb.WriteText(os.Stdout)
+	case "markdown":
+		return tb.WriteMarkdown(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.1, 0.25}) {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("0.1,?"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	for _, format := range []string{"csv", "table", "markdown"} {
+		if err := run([]string{"-ns", "128", "-epss", "0.3", "-seeds", "2", "-format", format}); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{"-ns", "x"},
+		{"-epss", "y"},
+		{"-ns", "128", "-epss", "0.3", "-seeds", "0"},
+		{"-ns", "1", "-epss", "0.3"},
+		{"-ns", "128", "-epss", "0.7"},
+		{"-ns", "128", "-epss", "0.3", "-format", "xml"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: broadcast one bit through a population of 4096 anonymous
+// agents whose every message is flipped with probability 0.2
+// (ε = 0.3), and confirm that all agents converge on the source's
+// opinion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"breathe"
+)
+
+func main() {
+	res, err := breathe.Broadcast(breathe.Config{
+		N:       4096,
+		Epsilon: 0.3, // each bit flips with probability 1/2 − ε = 0.2
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("population:        4096 agents, 1 source\n")
+	fmt.Printf("rounds:            %d\n", res.Rounds)
+	fmt.Printf("messages (bits):   %d\n", res.Messages)
+	fmt.Printf("correct fraction:  %.4f\n", res.CorrectFraction)
+	fmt.Printf("unanimous:         %v\n", res.Unanimous)
+	fmt.Printf("bias after Stage I (spreading): %.4f\n", res.Telemetry.BiasAfterStageI)
+	fmt.Printf("Stage II phases (boosting):     %d\n", len(res.Telemetry.StageII))
+
+	if !res.Unanimous {
+		log.Fatal("broadcast failed — try another seed or larger epsilon")
+	}
+}

@@ -1,0 +1,238 @@
+// Package analysis implements the paper's proof machinery in closed or
+// numeric form: the Stage I growth/bias recursions (§2.1.1), the Stirling
+// estimate of Claim 2.12, the case analysis of Lemma 2.11, and round- and
+// message-complexity predictions. The experiment suite and tests compare
+// these predictions against simulation — reproducing not only the
+// theorems' statements but the intermediate quantities their proofs track.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"breathe/internal/core"
+	"breathe/internal/stats"
+)
+
+// PhasePrediction is the expected state after one Stage I phase.
+type PhasePrediction struct {
+	// Phase is the paper's phase index (0..T+1).
+	Phase int
+	// ExpectedActivated is E[X_i], from the recursion
+	// X_i = X_{i−1} + Y_i with Y_i ≈ β·X_{i−1}·(1 − X/n) per round.
+	ExpectedActivated float64
+	// ExpectedNewly is E[Y_i].
+	ExpectedNewly float64
+	// ExpectedBias is the bias recursion value ε_i = (2ε)·ε_{i−1}
+	// (ε₀ = ε/2 after phase 0, per Claim 2.2 — the paper tracks the
+	// lower-bound branch ε_i ≥ ε^{i+1}/2).
+	ExpectedBias float64
+}
+
+// PredictStageI iterates the expectation recursions of §2.1.1 for the
+// given parameters and returns one prediction per phase 0..T+1.
+//
+// The recursion refines the proofs' worst-case bounds: per round of phase
+// i every one of the currently activated agents sends one message, each
+// activating a dormant agent with probability (#dormant/n)·(chance the
+// recipient is not hit twice). We use the standard balls-in-bins
+// expectation: r senders into n boxes activate
+// dormant·(1 − (1−1/n)^r) new agents in expectation.
+func PredictStageI(p core.Params) []PhasePrediction {
+	n := float64(p.N)
+	eps := p.Eps
+	out := make([]PhasePrediction, 0, p.T+2)
+
+	// Phase 0: βs rounds of a single sender. Expected activations follow
+	// the coupon-collector expectation over βs single-ball throws.
+	x := expectedActivations(1, float64(p.BetaS), 0, n)
+	out = append(out, PhasePrediction{
+		Phase:             0,
+		ExpectedActivated: x,
+		ExpectedNewly:     x,
+		ExpectedBias:      eps / 2,
+	})
+	bias := eps / 2
+	for i := 1; i <= p.T; i++ {
+		y := expectedActivations(x, float64(p.Beta), x, n)
+		bias *= 2 * eps
+		x += y
+		out = append(out, PhasePrediction{
+			Phase:             i,
+			ExpectedActivated: x,
+			ExpectedNewly:     y,
+			ExpectedBias:      bias,
+		})
+	}
+	y := expectedActivations(x, float64(p.BetaF), x, n)
+	bias *= 2 * eps
+	x += y
+	out = append(out, PhasePrediction{
+		Phase:             p.T + 1,
+		ExpectedActivated: x,
+		ExpectedNewly:     y,
+		ExpectedBias:      bias,
+	})
+	return out
+}
+
+// expectedActivations iterates, round by round, the expected number of
+// newly activated agents when senders agents each push one message per
+// round for rounds rounds, with alreadyActive agents activated at the
+// start, in a population of n.
+func expectedActivations(senders, rounds, alreadyActive, n float64) float64 {
+	active := alreadyActive
+	newly := 0.0
+	for r := 0.0; r < rounds; r++ {
+		dormant := n - active
+		if dormant <= 0 {
+			break
+		}
+		// senders balls into n−1 boxes each (no self-delivery); a dormant
+		// box that receives ≥1 ball becomes active.
+		pHit := 1 - math.Pow(1-1/(n-1), senders)
+		got := dormant * pHit
+		active += got
+		newly += got
+	}
+	return newly
+}
+
+// BiasAfterStageI returns the recursion's bias when all agents are
+// activated: ε^{T+2}/2 scaled as the paper's Ω(√(log n/n)) — the
+// recursion value, for comparison against telemetry.
+func BiasAfterStageI(p core.Params) float64 {
+	preds := PredictStageI(p)
+	return preds[len(preds)-1].ExpectedBias
+}
+
+// --- Claim 2.12: the Stirling bound ---
+
+// CentralBinomialProb returns P(r+i) = 2^{−(2r+1)}·C(2r+1, r+i): the
+// probability that exactly r+i of 2r+1 fair coins come up "wrong"
+// (first step of the imaginary process).
+func CentralBinomialProb(r, i int) float64 {
+	if r < 0 || i < -r-1 || i > r+1 {
+		panic(fmt.Sprintf("analysis: CentralBinomialProb(%d, %d) out of range", r, i))
+	}
+	return stats.BinomialPMF(2*r+1, r+i, 0.5)
+}
+
+// Claim212Bound is the paper's lower bound 1/(10·√r) on P(r+i) for
+// 1 ≤ i ≤ √r.
+func Claim212Bound(r int) float64 {
+	if r < 1 {
+		panic("analysis: Claim212Bound needs r >= 1")
+	}
+	return 1 / (10 * math.Sqrt(float64(r)))
+}
+
+// Claim212Holds checks P(r+i) > 1/(10√r) for all 1 ≤ i ≤ √r.
+func Claim212Holds(r int) bool {
+	bound := Claim212Bound(r)
+	for i := 1; float64(i) <= math.Sqrt(float64(r)); i++ {
+		if CentralBinomialProb(r, i) <= bound {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Lemma 2.11: the three-regime case analysis ---
+
+// Lemma211Regime labels which branch of the Lemma 2.11 proof applies.
+type Lemma211Regime int
+
+const (
+	// RegimeSmall is δ ≤ ε/2²⁰ (single corrective flip dominates).
+	RegimeSmall Lemma211Regime = iota + 1
+	// RegimeMedium is ε/2²⁰ < δ < 1/2¹² (⌈rb⌉ flips).
+	RegimeMedium
+	// RegimeLarge is δ ≥ 1/2¹² (constant advantage).
+	RegimeLarge
+)
+
+// ClassifyDelta returns the proof regime for bias delta at noise eps.
+func ClassifyDelta(delta, eps float64) Lemma211Regime {
+	switch {
+	case delta <= eps/(1<<20):
+		return RegimeSmall
+	case delta < 1.0/(1<<12):
+		return RegimeMedium
+	default:
+		return RegimeLarge
+	}
+}
+
+// MajorityGain returns the exact excess probability (over 1/2) that the
+// majority of gamma noisy samples from a population with bias delta is
+// correct, at channel parameter eps.
+func MajorityGain(gamma int, delta, eps float64) float64 {
+	q := stats.SampleCorrectProb(delta, eps)
+	return stats.MajoritySuccessProb(gamma, q) - 0.5
+}
+
+// SmallDeltaGainApprox approximates the gain for small delta by the
+// normal-approximation slope: the majority of γ samples with per-sample
+// edge b = 2εδ gains ≈ b·√(2γ/π). Used to sanity-check the exact values
+// and to size Stage II (the amplification factor is the gain divided by
+// delta).
+func SmallDeltaGainApprox(gamma int, delta, eps float64) float64 {
+	b := 2 * eps * delta
+	return b * math.Sqrt(2*float64(gamma)/math.Pi)
+}
+
+// AmplificationFactor returns gain/delta: how much one Stage II phase
+// multiplies a small bias, exactly.
+func AmplificationFactor(gamma int, delta, eps float64) float64 {
+	if delta <= 0 {
+		panic("analysis: AmplificationFactor needs positive delta")
+	}
+	return MajorityGain(gamma, delta, eps) / delta
+}
+
+// --- complexity predictions (Theorem 2.17 / 3.1) ---
+
+// Complexity summarizes predicted costs for a parameter set.
+type Complexity struct {
+	// Rounds is the exact scheduled round count.
+	Rounds int
+	// MessageUpperBound bounds total messages by n·rounds (every agent
+	// sends at most one message per round).
+	MessageUpperBound int64
+	// MessageEstimate estimates realized messages: Stage I phases send
+	// X_{i−1} per round, Stage II sends n per round.
+	MessageEstimate float64
+	// AsyncRounds is the §3.1 round count at D = 2·⌈log₂ n⌉.
+	AsyncRounds int
+}
+
+// PredictComplexity computes cost predictions for p.
+func PredictComplexity(p core.Params) Complexity {
+	preds := PredictStageI(p)
+	msgs := 1 * float64(p.BetaS) // phase 0: the source only
+	x := preds[0].ExpectedActivated
+	for i := 1; i <= p.T; i++ {
+		msgs += (x + 1) * float64(p.Beta)
+		x = preds[i].ExpectedActivated
+	}
+	msgs += (x + 1) * float64(p.BetaF)
+	msgs += float64(p.N) * float64(p.StageIIRounds())
+
+	rounds := p.TotalRounds()
+	d := 2 * int(math.Ceil(math.Log2(float64(p.N))))
+	phases := p.T + 2 + p.K + 1
+	return Complexity{
+		Rounds:            rounds,
+		MessageUpperBound: int64(p.N) * int64(rounds),
+		MessageEstimate:   msgs,
+		AsyncRounds:       rounds + (phases-1)*d,
+	}
+}
+
+// OptimalRoundOrder returns the Θ(log n/ε²) reference value log₂(n)/ε²
+// that both the lower bound (§1.4) and the protocol share; useful for
+// normalized comparisons across (n, ε).
+func OptimalRoundOrder(n int, eps float64) float64 {
+	return math.Log2(float64(n)) / (eps * eps)
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"breathe/internal/channel"
+	"breathe/internal/core"
+	"breathe/internal/sim"
+	"breathe/internal/stats"
+)
+
+func TestPredictStageIStructure(t *testing.T) {
+	p := core.DefaultParams(16384, 0.3)
+	preds := PredictStageI(p)
+	if len(preds) != p.T+2 {
+		t.Fatalf("got %d predictions, want %d", len(preds), p.T+2)
+	}
+	prev := 0.0
+	for i, pr := range preds {
+		if pr.Phase != i && !(i == len(preds)-1 && pr.Phase == p.T+1) {
+			t.Errorf("prediction %d has phase %d", i, pr.Phase)
+		}
+		if pr.ExpectedActivated < prev {
+			t.Errorf("phase %d: activated decreased", i)
+		}
+		if pr.ExpectedActivated > float64(p.N) {
+			t.Errorf("phase %d: activated %v exceeds n", i, pr.ExpectedActivated)
+		}
+		if pr.ExpectedNewly < 0 {
+			t.Errorf("phase %d: negative newly", i)
+		}
+		prev = pr.ExpectedActivated
+	}
+	// Bias follows the (2ε)-per-phase decay from ε/2.
+	if math.Abs(preds[0].ExpectedBias-0.15) > 1e-12 {
+		t.Errorf("phase-0 bias %v, want 0.15", preds[0].ExpectedBias)
+	}
+	for i := 1; i < len(preds); i++ {
+		want := preds[i-1].ExpectedBias * 2 * 0.3
+		if math.Abs(preds[i].ExpectedBias-want) > 1e-12 {
+			t.Errorf("phase %d bias %v, want %v", i, preds[i].ExpectedBias, want)
+		}
+	}
+}
+
+func TestPredictStageIEventuallyEveryone(t *testing.T) {
+	p := core.DefaultParams(4096, 0.3)
+	preds := PredictStageI(p)
+	last := preds[len(preds)-1]
+	if last.ExpectedActivated < float64(p.N)*0.99 {
+		t.Fatalf("prediction says only %v of %d activated", last.ExpectedActivated, p.N)
+	}
+}
+
+// TestPredictionMatchesSimulation is the package's reason to exist: the
+// expectation recursion should track measured Stage I telemetry within
+// Monte-Carlo error.
+func TestPredictionMatchesSimulation(t *testing.T) {
+	const n = 8192
+	eps := 0.3
+	params := core.DefaultParams(n, eps)
+	preds := PredictStageI(params)
+
+	var sums []float64
+	const seeds = 5
+	for seed := uint64(0); seed < seeds; seed++ {
+		p, err := core.NewBroadcast(params, channel.One)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(eps), Seed: seed}, p); err != nil {
+			t.Fatal(err)
+		}
+		tel := p.Telemetry()
+		if sums == nil {
+			sums = make([]float64, len(tel.StageI))
+		}
+		for i, st := range tel.StageI {
+			sums[i] += float64(st.Activated)
+		}
+	}
+	for i := range sums {
+		got := sums[i] / seeds
+		want := preds[i].ExpectedActivated
+		if math.Abs(got-want) > 0.15*want+10 {
+			t.Errorf("phase %d: simulated X=%v vs predicted %v", i, got, want)
+		}
+	}
+}
+
+func TestCentralBinomialProb(t *testing.T) {
+	// r = 1: 3 coins, P(2 wrong) = 3/8.
+	if got := CentralBinomialProb(1, 1); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("P(r+1) for r=1: %v, want 0.375", got)
+	}
+	// Symmetry: P(r+1+i) across i decreasing.
+	prev := math.Inf(1)
+	for i := 1; i <= 5; i++ {
+		cur := CentralBinomialProb(30, i)
+		if cur >= prev {
+			t.Errorf("P(r+i) not decreasing at i=%d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestCentralBinomialProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out of range did not panic")
+		}
+	}()
+	CentralBinomialProb(5, 8)
+}
+
+// TestClaim212 numerically verifies the Stirling bound of Claim 2.12 over
+// a wide range of r.
+func TestClaim212(t *testing.T) {
+	for _, r := range []int{1, 4, 16, 64, 256, 1024, 4096, 1 << 14} {
+		if !Claim212Holds(r) {
+			t.Errorf("Claim 2.12 fails at r = %d", r)
+		}
+	}
+}
+
+func TestClaim212BoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("r=0 did not panic")
+		}
+	}()
+	Claim212Bound(0)
+}
+
+func TestClassifyDelta(t *testing.T) {
+	eps := 0.3
+	if got := ClassifyDelta(eps/(1<<22), eps); got != RegimeSmall {
+		t.Errorf("tiny delta classified %v", got)
+	}
+	if got := ClassifyDelta(0.0001, eps); got != RegimeMedium {
+		t.Errorf("medium delta classified %v", got)
+	}
+	if got := ClassifyDelta(0.01, eps); got != RegimeLarge {
+		t.Errorf("large delta classified %v", got)
+	}
+}
+
+// TestLemma211AcrossRegimes verifies min(1/2+4δ, 51/100) against the
+// exact majority probability in each proof regime, with the paper's
+// γ = 2r+1, r ≥ 1/ε² structure.
+func TestLemma211AcrossRegimes(t *testing.T) {
+	eps := 0.25
+	r := int(math.Ceil(32 / (eps * eps)))
+	gamma := 2*r + 1
+	for _, delta := range []float64{eps / (1 << 21), 1e-4, 5e-4, 0.01, 0.1, 0.4} {
+		gain := MajorityGain(gamma, delta, eps)
+		bound := stats.Lemma211Bound(delta) - 0.5
+		if gain < bound-1e-9 {
+			t.Errorf("delta=%v (%v): gain %v below bound %v",
+				delta, ClassifyDelta(delta, eps), gain, bound)
+		}
+	}
+}
+
+func TestSmallDeltaGainApprox(t *testing.T) {
+	// For small delta the normal approximation should be within a factor
+	// of 2 of the exact gain.
+	eps := 0.3
+	gamma := 2*int(math.Ceil(8/(eps*eps))) + 1
+	for _, delta := range []float64{1e-4, 1e-3} {
+		exact := MajorityGain(gamma, delta, eps)
+		approx := SmallDeltaGainApprox(gamma, delta, eps)
+		if exact <= 0 || approx <= 0 {
+			t.Fatalf("nonpositive gains: exact %v approx %v", exact, approx)
+		}
+		ratio := approx / exact
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("delta=%v: approx/exact = %v", delta, ratio)
+		}
+	}
+}
+
+func TestAmplificationFactor(t *testing.T) {
+	// With the default Stage II sizing the amplification of small biases
+	// must exceed the paper's 1.7 so Lemma 2.14's conclusion holds.
+	for _, eps := range []float64{0.2, 0.3, 0.45} {
+		p := core.DefaultParams(16384, eps)
+		amp := AmplificationFactor(p.Gamma, 0.01, eps)
+		if amp < 1.7 {
+			t.Errorf("eps=%v: amplification %v < 1.7 — Stage II would stall", eps, amp)
+		}
+	}
+}
+
+func TestAmplificationFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delta=0 did not panic")
+		}
+	}()
+	AmplificationFactor(11, 0, 0.3)
+}
+
+func TestPredictComplexity(t *testing.T) {
+	p := core.DefaultParams(4096, 0.3)
+	c := PredictComplexity(p)
+	if c.Rounds != p.TotalRounds() {
+		t.Errorf("rounds %d != schedule %d", c.Rounds, p.TotalRounds())
+	}
+	if c.MessageUpperBound != int64(p.N)*int64(c.Rounds) {
+		t.Errorf("upper bound arithmetic wrong")
+	}
+	if c.MessageEstimate <= 0 || c.MessageEstimate > float64(c.MessageUpperBound) {
+		t.Errorf("estimate %v outside (0, upper]", c.MessageEstimate)
+	}
+	if c.AsyncRounds <= c.Rounds {
+		t.Errorf("async rounds %d not above sync %d", c.AsyncRounds, c.Rounds)
+	}
+}
+
+// TestMessageEstimateMatchesSimulation ties the analytic message estimate
+// to the measured total.
+func TestMessageEstimateMatchesSimulation(t *testing.T) {
+	const n = 4096
+	eps := 0.3
+	params := core.DefaultParams(n, eps)
+	pred := PredictComplexity(params)
+	p, err := core.NewBroadcast(params, channel.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(eps), Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.MessagesSent)
+	if math.Abs(got-pred.MessageEstimate) > 0.1*pred.MessageEstimate {
+		t.Errorf("measured %v vs estimated %v messages", got, pred.MessageEstimate)
+	}
+}
+
+func TestOptimalRoundOrder(t *testing.T) {
+	if got := OptimalRoundOrder(1024, 0.5); math.Abs(got-40) > 1e-9 {
+		t.Errorf("OptimalRoundOrder(1024, .5) = %v, want 40", got)
+	}
+	if OptimalRoundOrder(1<<20, 0.1) <= OptimalRoundOrder(1<<10, 0.1) {
+		t.Error("order should grow with n")
+	}
+}

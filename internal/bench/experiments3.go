@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"breathe/internal/channel"
+	"breathe/internal/core"
+	"breathe/internal/sim"
+	"breathe/internal/stats"
+	"breathe/internal/trace"
+)
+
+// runVariantCells executes a variant across seeds; returns success count,
+// wrong-majority count and mean final bias.
+func runVariantCells(v core.Variant, n int, eps float64, seeds int) (ok, wrong int, bias stats.Running, err error) {
+	params := core.DefaultParams(n, eps)
+	for seed := 0; seed < seeds; seed++ {
+		var p *core.Protocol
+		p, err = core.NewBroadcastVariant(params, channel.One, v)
+		if err != nil {
+			return
+		}
+		var res sim.Result
+		res, err = sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(eps), Seed: uint64(seed)}, p)
+		if err != nil {
+			return
+		}
+		if res.AllCorrect(channel.One) {
+			ok++
+		}
+		if res.Opinions[channel.Zero] > res.Opinions[channel.One] {
+			wrong++
+		}
+		bias.Add(res.Bias(channel.One))
+	}
+	return
+}
+
+// --- E13: the breathing rule is load-bearing (§1.6 ablation) ---
+
+func e13() *Experiment {
+	return &Experiment{
+		ID:          "E13",
+		Title:       "Ablation: removing the breathing rule",
+		PaperRef:    "Section 1.6 (difficulty discussion)",
+		Expectation: "without phase-synchronized waiting, the population converges to the WRONG unanimous opinion with non-negligible probability; the paper rule never does",
+		Run: func(o Options) (*Report, error) {
+			n := 2048
+			if o.Quick {
+				n = 1024
+			}
+			seeds := o.seeds() * 2
+			r := &Report{}
+			tb := trace.NewTable(
+				fmt.Sprintf("E13: paper rule vs no-breathe (n = %d, %d seeds per cell)", n, seeds),
+				"eps", "paper: correct/wrong-majority", "no-breathe: correct/wrong-majority")
+			sawDegradation := false
+			paperClean := true
+			for _, eps := range pick(o, []float64{0.15}, []float64{0.25, 0.2, 0.15}) {
+				okP, wrongP, _, err := runVariantCells(core.Variant{}, n, eps, seeds)
+				if err != nil {
+					return nil, err
+				}
+				okA, wrongA, _, err := runVariantCells(core.Variant{NoBreathe: true}, n, eps, seeds)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRowValues(eps,
+					fmt.Sprintf("%d/%d / %d", okP, seeds, wrongP),
+					fmt.Sprintf("%d/%d / %d", okA, seeds, wrongA))
+				if wrongA > 0 || okA < okP {
+					sawDegradation = true
+				}
+				if wrongP > 0 || okP < seeds-1 {
+					paperClean = false
+				}
+				o.logf("E13: eps=%v paper %d/%d, ablated %d/%d (wrong %d)", eps, okP, seeds, okA, seeds, wrongA)
+			}
+			r.Tables = append(r.Tables, tb)
+			r.addCheck("paper rule reliable everywhere", paperClean, "no wrong-majority outcomes")
+			r.addCheck("no-breathe degrades (wrong consensus appears)", sawDegradation,
+				"the §1.6 failure mode reproduced")
+			return r, nil
+		},
+	}
+}
+
+// --- E14: the Remark 2.1 / 2.10 decision-rule alternatives ---
+
+func e14() *Experiment {
+	return &Experiment{
+		ID:          "E14",
+		Title:       "Ablation: alternative message/subset choice rules",
+		PaperRef:    "Remarks 2.1 and 2.10",
+		Expectation: "first-message and first-γ-samples rules are equivalent to the random choices under a global clock; majority over all samples also works",
+		Run: func(o Options) (*Report, error) {
+			n := 2048
+			if o.Quick {
+				n = 1024
+			}
+			eps := 0.3
+			seeds := o.seeds()
+			r := &Report{}
+			tb := trace.NewTable(
+				fmt.Sprintf("E14: decision-rule variants (n = %d, ε = %.2f, %d seeds)", n, eps, seeds),
+				"variant", "unanimous", "wrong-majority", "mean final bias")
+			variants := []core.Variant{
+				{},
+				{FirstMessage: true},
+				{PrefixSubset: true},
+				{FirstMessage: true, PrefixSubset: true},
+				{FullSampleMajority: true},
+			}
+			allEquivalent := true
+			for _, v := range variants {
+				ok, wrong, bias, err := runVariantCells(v, n, eps, seeds)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRowValues(v.Name(), fmt.Sprintf("%d/%d", ok, seeds), wrong, bias.Mean())
+				if ok < seeds-1 || wrong > 0 {
+					allEquivalent = false
+				}
+				o.logf("E14: %s %d/%d", v.Name(), ok, seeds)
+			}
+			r.Tables = append(r.Tables, tb)
+			r.addCheck("all alternative rules converge w.h.p.", allEquivalent,
+				"Remarks 2.1/2.10 equivalences hold empirically")
+			return r, nil
+		},
+	}
+}

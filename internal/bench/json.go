@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"breathe/internal/trace"
+)
+
+// JSONReport is the machine-readable form of one experiment's report,
+// suitable for archiving runs and diffing reproductions.
+type JSONReport struct {
+	ID          string      `json:"id"`
+	Title       string      `json:"title"`
+	PaperRef    string      `json:"paper_ref"`
+	Expectation string      `json:"expectation"`
+	Passed      bool        `json:"passed"`
+	Checks      []JSONCheck `json:"checks"`
+	Tables      []JSONTable `json:"tables"`
+}
+
+// JSONCheck mirrors Check.
+type JSONCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// JSONTable is a table as named columns and string rows.
+type JSONTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// ToJSON converts an experiment's report to its serializable form.
+func ToJSON(e *Experiment, r *Report) JSONReport {
+	out := JSONReport{
+		ID:          e.ID,
+		Title:       e.Title,
+		PaperRef:    e.PaperRef,
+		Expectation: e.Expectation,
+		Passed:      r.Passed(),
+	}
+	for _, c := range r.Checks {
+		out.Checks = append(out.Checks, JSONCheck{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+	}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, tableToJSON(t))
+	}
+	return out
+}
+
+func tableToJSON(t *trace.Table) JSONTable {
+	cols, rows := t.Snapshot()
+	return JSONTable{Title: t.Title(), Columns: cols, Rows: rows}
+}
+
+// WriteJSON renders one or more reports as a JSON array to w.
+func WriteJSON(w io.Writer, reports []JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"breathe/internal/trace"
+)
+
+func sampleReport() (*Experiment, *Report) {
+	e := &Experiment{ID: "EX", Title: "sample", PaperRef: "none", Expectation: "n/a"}
+	r := &Report{}
+	tb := trace.NewTable("tbl", "a", "b")
+	tb.AddRow("1", "2")
+	r.Tables = append(r.Tables, tb)
+	r.addCheck("check-one", true, "fine")
+	r.addCheck("check-two", false, "broken")
+	return e, r
+}
+
+func TestToJSON(t *testing.T) {
+	e, r := sampleReport()
+	j := ToJSON(e, r)
+	if j.ID != "EX" || j.Title != "sample" {
+		t.Fatalf("metadata wrong: %+v", j)
+	}
+	if j.Passed {
+		t.Error("report with failing check marked passed")
+	}
+	if len(j.Checks) != 2 || j.Checks[1].Pass {
+		t.Fatalf("checks wrong: %+v", j.Checks)
+	}
+	if len(j.Tables) != 1 || j.Tables[0].Title != "tbl" {
+		t.Fatalf("tables wrong: %+v", j.Tables)
+	}
+	if len(j.Tables[0].Columns) != 2 || len(j.Tables[0].Rows) != 1 {
+		t.Fatalf("table shape wrong: %+v", j.Tables[0])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	e, r := sampleReport()
+	var sb strings.Builder
+	if err := WriteJSON(&sb, []JSONReport{ToJSON(e, r)}); err != nil {
+		t.Fatal(err)
+	}
+	var back []JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("invalid JSON emitted: %v\n%s", err, sb.String())
+	}
+	if len(back) != 1 || back[0].ID != "EX" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back[0].Tables[0].Rows[0][1] != "2" {
+		t.Fatalf("cell lost: %+v", back[0].Tables[0])
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	tb := trace.NewTable("t", "x")
+	tb.AddRow("1")
+	cols, rows := tb.Snapshot()
+	cols[0] = "mutated"
+	rows[0][0] = "mutated"
+	cols2, rows2 := tb.Snapshot()
+	if cols2[0] != "x" || rows2[0][0] != "1" {
+		t.Fatal("Snapshot exposed internal state")
+	}
+}

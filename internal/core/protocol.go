@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+
+	"breathe/internal/channel"
+	"breathe/internal/rng"
+)
+
+// Protocol is the paper's algorithm as a sim.Protocol. One value runs
+// either the noisy broadcast problem (a single source knows the correct
+// opinion B) or the noisy majority-consensus problem (an initial set A of
+// opinionated agents whose majority is B), selected by the constructor.
+//
+// The target opinion is used only to initialize the source/initial set
+// and to label telemetry; no per-agent decision reads it, which makes the
+// algorithm symmetric in the paper's sense (§1.3.4): the message pattern
+// is identical whether B is 0 or 1.
+type Protocol struct {
+	params  Params
+	sched   *Schedule
+	target  channel.Bit
+	name    string
+	variant Variant
+
+	// Consensus-mode initialization: the first correctA agents start with
+	// the target opinion, the next wrongA with its negation. Zero values
+	// select broadcast mode (agent 0 is the source).
+	consensus bool
+	correctA  int
+	wrongA    int
+
+	n   int
+	rng *rng.RNG
+
+	activated  []bool
+	level      []int32 // Stage I phase in which the agent was activated
+	opinion    []channel.Bit
+	hasOpinion []bool
+	ones       []int32 // per-phase received-ones counter
+	total      []int32 // per-phase received-messages counter
+
+	// Cached phase lookup for the round currently executing.
+	curRound int
+	curRef   PhaseRef
+	curLast  bool
+	curOK    bool
+
+	telem Telemetry
+}
+
+// preActivatedLevel marks agents (the source, or the consensus set A) that
+// already hold an opinion when their first scheduled phase begins. The
+// value startPhase−1 makes the "send iff level < current phase" rule give
+// them the paper's behaviour: the source transmits from phase 0 on, the
+// set A from phase i_A on.
+func (p *Protocol) preActivatedLevel() int32 {
+	return int32(p.sched.StartPhase() - 1)
+}
+
+// NewBroadcast returns the noisy-broadcast protocol: agent 0 is the source
+// and knows target; everyone else starts dormant.
+func NewBroadcast(params Params, target channel.Bit) (*Protocol, error) {
+	return NewBroadcastVariant(params, target, Variant{})
+}
+
+// NewBroadcastVariant returns the broadcast protocol with ablated decision
+// rules (see Variant).
+func NewBroadcastVariant(params Params, target channel.Bit, v Variant) (*Protocol, error) {
+	sched, err := NewSchedule(params, 0)
+	if err != nil {
+		return nil, err
+	}
+	name := "breathe-broadcast"
+	if !v.IsPaper() {
+		name += "[" + v.Name() + "]"
+	}
+	return &Protocol{
+		params:  params,
+		sched:   sched,
+		target:  target,
+		name:    name,
+		variant: v,
+	}, nil
+}
+
+// NewConsensus returns the noisy majority-consensus protocol. correctA
+// agents start with the target opinion and wrongA with its negation
+// (correctA > wrongA makes target the majority opinion of A); all other
+// agents start dormant. Execution begins at Stage I phase
+// i_A = StartPhaseForConsensus(correctA + wrongA).
+func NewConsensus(params Params, target channel.Bit, correctA, wrongA int) (*Protocol, error) {
+	sizeA := correctA + wrongA
+	if correctA < 0 || wrongA < 0 || sizeA == 0 {
+		return nil, fmt.Errorf("core: invalid initial set sizes correct=%d wrong=%d", correctA, wrongA)
+	}
+	if sizeA > params.N {
+		return nil, fmt.Errorf("core: initial set %d exceeds population %d", sizeA, params.N)
+	}
+	sched, err := NewSchedule(params, params.StartPhaseForConsensus(sizeA))
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{
+		params:    params,
+		sched:     sched,
+		target:    target,
+		name:      "breathe-consensus",
+		consensus: true,
+		correctA:  correctA,
+		wrongA:    wrongA,
+	}, nil
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return p.name }
+
+// Params returns the parameters the protocol runs with.
+func (p *Protocol) Params() Params { return p.params }
+
+// Schedule exposes the phase schedule (round counts, phase spans).
+func (p *Protocol) Schedule() *Schedule { return p.sched }
+
+// Telemetry returns the per-phase statistics recorded so far. Valid after
+// the run completes.
+func (p *Protocol) Telemetry() *Telemetry { return &p.telem }
+
+// Target returns the correct opinion B.
+func (p *Protocol) Target() channel.Bit { return p.target }
+
+// Setup implements sim.Protocol.
+func (p *Protocol) Setup(n int, r *rng.RNG) {
+	if n != p.params.N {
+		panic(fmt.Sprintf("core: engine population %d != params.N %d", n, p.params.N))
+	}
+	p.n = n
+	p.rng = r
+	p.activated = make([]bool, n)
+	p.level = make([]int32, n)
+	p.opinion = make([]channel.Bit, n)
+	p.hasOpinion = make([]bool, n)
+	p.ones = make([]int32, n)
+	p.total = make([]int32, n)
+	p.curRound = -1
+
+	pre := p.preActivatedLevel()
+	if p.consensus {
+		for a := 0; a < p.correctA+p.wrongA; a++ {
+			p.activated[a] = true
+			p.level[a] = pre
+			p.hasOpinion[a] = true
+			if a < p.correctA {
+				p.opinion[a] = p.target
+			} else {
+				p.opinion[a] = p.target.Flip()
+			}
+		}
+	} else {
+		p.activated[0] = true
+		p.level[0] = pre
+		p.hasOpinion[0] = true
+		p.opinion[0] = p.target
+	}
+}
+
+// ensurePhase refreshes the cached schedule lookup for round.
+func (p *Protocol) ensurePhase(round int) {
+	if round == p.curRound {
+		return
+	}
+	p.curRound = round
+	p.curRef, _, p.curLast, p.curOK = p.sched.At(round)
+}
+
+// Send implements sim.Protocol. Stage I: an agent transmits its initial
+// opinion in every round of every phase after its activation phase
+// ("breathe before speaking"). Stage II: every opinionated agent
+// transmits its current opinion every round.
+func (p *Protocol) Send(a, round int) (channel.Bit, bool) {
+	p.ensurePhase(round)
+	if !p.curOK || !p.hasOpinion[a] {
+		return 0, false
+	}
+	if p.curRef.Stage == StageI && !p.variant.NoBreathe && !(p.level[a] < int32(p.curRef.Index)) {
+		// Still in (or before) its activation phase: keep silent
+		// ("breathe"). The NoBreathe ablation removes this rule.
+		return 0, false
+	}
+	return p.opinion[a], true
+}
+
+// Receive implements sim.Protocol.
+func (p *Protocol) Receive(a int, bit channel.Bit, round int) {
+	p.ensurePhase(round)
+	if !p.curOK {
+		return
+	}
+	switch p.curRef.Stage {
+	case StageI:
+		cur := int32(p.curRef.Index)
+		if !p.activated[a] {
+			p.activated[a] = true
+			p.level[a] = cur
+			p.ones[a] = int32(bit)
+			p.total[a] = 1
+			if p.variant.NoBreathe {
+				// Ablation: adopt the first message immediately and start
+				// forwarding from the next round.
+				p.opinion[a] = bit
+				p.hasOpinion[a] = true
+			}
+			return
+		}
+		if p.level[a] == cur && !p.hasOpinion[a] && !p.variant.FirstMessage {
+			// Collecting messages during its activation phase. The
+			// FirstMessage variant keeps only the activating message.
+			p.ones[a] += int32(bit)
+			p.total[a]++
+		}
+		// Already-opinionated agents ignore Stage I receptions.
+	case StageII:
+		if p.variant.PrefixSubset {
+			// Remark 2.10 alternative: only the first g samples form the
+			// majority subset; later ones still count toward success.
+			if int(p.total[a]) < p.subsetSize() {
+				p.ones[a] += int32(bit)
+			}
+			p.total[a]++
+			return
+		}
+		p.ones[a] += int32(bit)
+		p.total[a]++
+	}
+}
+
+// EndRound implements sim.Protocol: opinion updates happen only at phase
+// boundaries.
+func (p *Protocol) EndRound(round int) {
+	p.ensurePhase(round)
+	if !p.curOK || !p.curLast {
+		return
+	}
+	switch p.curRef.Stage {
+	case StageI:
+		p.endStageIPhase(round)
+		if round == p.sched.StageIEnd()-1 {
+			p.finishStageI()
+		}
+	case StageII:
+		p.endStageIIPhase(round)
+	}
+}
+
+// endStageIPhase gives every agent activated during the ending phase its
+// initial opinion: a message chosen uniformly at random among those it
+// received this phase. With (ones, total) counters this is a
+// Bernoulli(ones/total) draw — identical in law (Remark 2.1 notes the
+// choice is order-invariant, which this form makes structural).
+func (p *Protocol) endStageIPhase(round int) {
+	cur := int32(p.curRef.Index)
+	newly, correct := 0, 0
+	for a := 0; a < p.n; a++ {
+		if !p.activated[a] || p.level[a] != cur {
+			continue
+		}
+		if !p.hasOpinion[a] {
+			var bit channel.Bit
+			if p.rng.Uint64n(uint64(p.total[a])) < uint64(p.ones[a]) {
+				bit = channel.One
+			} else {
+				bit = channel.Zero
+			}
+			p.opinion[a] = bit
+			p.hasOpinion[a] = true
+		}
+		// NoBreathe agents already committed at activation; they are
+		// still counted as this phase's layer.
+		newly++
+		if p.opinion[a] == p.target {
+			correct++
+		}
+		p.ones[a], p.total[a] = 0, 0
+	}
+	cum := 0
+	if k := len(p.telem.StageI); k > 0 {
+		cum = p.telem.StageI[k-1].Activated
+	}
+	_, start, length := p.currentSpan(round)
+	p.telem.StageI = append(p.telem.StageI, StageIPhaseStat{
+		Phase:          int(cur),
+		StartRound:     start,
+		Rounds:         length,
+		Activated:      cum + newly,
+		NewlyActivated: newly,
+		NewlyCorrect:   correct,
+	})
+}
+
+// finishStageI records the Stage I summary and clears counters so Stage II
+// starts fresh.
+func (p *Protocol) finishStageI() {
+	holding, correct := 0, 0
+	for a := 0; a < p.n; a++ {
+		p.ones[a], p.total[a] = 0, 0
+		if p.hasOpinion[a] {
+			holding++
+			if p.opinion[a] == p.target {
+				correct++
+			}
+		}
+	}
+	p.telem.ActivatedAfterStageI = holding
+	p.telem.BiasAfterStageI = float64(correct)/float64(p.n) - 0.5
+}
+
+// endStageIIPhase applies the majority rule: every successful agent (one
+// that received at least the subset size g of samples) adopts the majority
+// of a uniformly random g-subset of its samples. Drawing the number of 1s
+// in the subset from Hypergeometric(total, ones, g) is identical in law to
+// materializing the subset (Remark 2.10; property-tested in internal/rng).
+// subsetSize returns the majority-subset size of the Stage II phase the
+// cached round belongs to.
+func (p *Protocol) subsetSize() int {
+	if p.curRef.Index == p.params.K+1 {
+		return p.params.GammaFinal
+	}
+	return p.params.Gamma
+}
+
+func (p *Protocol) endStageIIPhase(round int) {
+	g := p.subsetSize()
+	successful, correct := 0, 0
+	for a := 0; a < p.n; a++ {
+		if int(p.total[a]) >= g {
+			successful++
+			switch {
+			case p.variant.PrefixSubset:
+				// ones already holds the first-g prefix count.
+				if 2*int(p.ones[a]) > g {
+					p.opinion[a] = channel.One
+				} else {
+					p.opinion[a] = channel.Zero
+				}
+			case p.variant.FullSampleMajority:
+				twice := 2 * int(p.ones[a])
+				switch {
+				case twice > int(p.total[a]):
+					p.opinion[a] = channel.One
+				case twice < int(p.total[a]):
+					p.opinion[a] = channel.Zero
+				default: // exact tie over all samples
+					p.opinion[a] = channel.Bit(p.rng.Uint64() & 1)
+				}
+			default:
+				onesSub := p.rng.Hypergeometric(int(p.total[a]), int(p.ones[a]), g)
+				if 2*onesSub > g {
+					p.opinion[a] = channel.One
+				} else {
+					p.opinion[a] = channel.Zero
+				}
+			}
+			p.hasOpinion[a] = true
+		}
+		p.ones[a], p.total[a] = 0, 0
+		if p.hasOpinion[a] && p.opinion[a] == p.target {
+			correct++
+		}
+	}
+	_, start, length := p.currentSpan(round)
+	p.telem.StageII = append(p.telem.StageII, StageIIPhaseStat{
+		Phase:      p.curRef.Index,
+		StartRound: start,
+		Rounds:     length,
+		Successful: successful,
+		Correct:    correct,
+		Population: p.n,
+	})
+}
+
+// currentSpan returns the span of the phase containing round.
+func (p *Protocol) currentSpan(round int) (ref PhaseRef, start, length int) {
+	for pos := 0; pos < p.sched.NumPhases(); pos++ {
+		r, s, l := p.sched.PhaseByPosition(pos)
+		if round >= s && round < s+l {
+			return r, s, l
+		}
+	}
+	panic(fmt.Sprintf("core: round %d outside schedule", round))
+}
+
+// Done implements sim.Protocol.
+func (p *Protocol) Done(round int) bool { return round >= p.sched.TotalRounds() }
+
+// Opinion implements sim.Protocol.
+func (p *Protocol) Opinion(a int) (channel.Bit, bool) {
+	if p.hasOpinion == nil || !p.hasOpinion[a] {
+		return 0, false
+	}
+	return p.opinion[a], true
+}

@@ -1,0 +1,132 @@
+package core
+
+import "fmt"
+
+// Stage identifies which of the two protocol stages a phase belongs to.
+type Stage int
+
+const (
+	// StageI is the spreading stage (§2.1).
+	StageI Stage = 1
+	// StageII is the boosting stage (§2.2).
+	StageII Stage = 2
+)
+
+// PhaseRef names one phase of the combined schedule.
+type PhaseRef struct {
+	Stage Stage
+	// Index is the phase number within the stage: Stage I uses 0..T+1
+	// (matching the paper's numbering), Stage II uses 1..K+1.
+	Index int
+}
+
+func (p PhaseRef) String() string {
+	if p.Stage == StageI {
+		return fmt.Sprintf("I.%d", p.Index)
+	}
+	return fmt.Sprintf("II.%d", p.Index)
+}
+
+// Schedule lays the protocol's phases onto absolute round numbers. For
+// broadcast the schedule contains Stage I phases 0..T+1; for consensus it
+// starts at phase i_A (Corollary 2.18).
+type Schedule struct {
+	params     Params
+	startPhase int
+
+	phases []phaseSpan
+	total  int
+}
+
+type phaseSpan struct {
+	ref   PhaseRef
+	start int
+	len   int
+}
+
+// NewSchedule builds the schedule beginning at Stage I phase startPhase
+// (0 for broadcast; i_A ≥ 1 for consensus). startPhase must be in
+// [0, T+1].
+func NewSchedule(p Params, startPhase int) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if startPhase < 0 || startPhase > p.T+1 {
+		return nil, fmt.Errorf("core: start phase %d outside [0, %d]", startPhase, p.T+1)
+	}
+	s := &Schedule{params: p, startPhase: startPhase}
+	round := 0
+	add := func(ref PhaseRef, length int) {
+		s.phases = append(s.phases, phaseSpan{ref: ref, start: round, len: length})
+		round += length
+	}
+	// Stage I.
+	if startPhase == 0 {
+		add(PhaseRef{StageI, 0}, p.BetaS)
+	}
+	for i := max(1, startPhase); i <= p.T; i++ {
+		add(PhaseRef{StageI, i}, p.Beta)
+	}
+	add(PhaseRef{StageI, p.T + 1}, p.BetaF)
+	// Stage II.
+	for j := 1; j <= p.K; j++ {
+		add(PhaseRef{StageII, j}, 2*p.Gamma)
+	}
+	add(PhaseRef{StageII, p.K + 1}, p.MFinal())
+	s.total = round
+	return s, nil
+}
+
+// TotalRounds is the full length of the scheduled execution.
+func (s *Schedule) TotalRounds() int { return s.total }
+
+// StartPhase reports the first Stage I phase in the schedule.
+func (s *Schedule) StartPhase() int { return s.startPhase }
+
+// NumPhases reports how many phases the schedule contains.
+func (s *Schedule) NumPhases() int { return len(s.phases) }
+
+// PhaseByPosition returns the pos-th phase of the schedule together with
+// its start round and length.
+func (s *Schedule) PhaseByPosition(pos int) (ref PhaseRef, start, length int) {
+	ph := s.phases[pos]
+	return ph.ref, ph.start, ph.len
+}
+
+// At locates the phase containing round. ok is false past the end of the
+// schedule. last reports whether round is the final round of its phase.
+func (s *Schedule) At(round int) (ref PhaseRef, inPhase int, last, ok bool) {
+	if round < 0 || round >= s.total {
+		return PhaseRef{}, 0, false, false
+	}
+	// Binary search over phase spans.
+	lo, hi := 0, len(s.phases)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.phases[mid].start <= round {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ph := s.phases[lo]
+	inPhase = round - ph.start
+	return ph.ref, inPhase, inPhase == ph.len-1, true
+}
+
+// StageIEnd returns the first round after Stage I.
+func (s *Schedule) StageIEnd() int {
+	for _, ph := range s.phases {
+		if ph.ref.Stage == StageII {
+			return ph.start
+		}
+	}
+	return s.total
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

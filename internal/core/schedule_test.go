@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestScheduleSpansAreContiguous(t *testing.T) {
+	for _, start := range []int{0, 1} {
+		p := DefaultParams(4096, 0.3)
+		s, err := NewSchedule(p, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 0
+		for pos := 0; pos < s.NumPhases(); pos++ {
+			_, st, l := s.PhaseByPosition(pos)
+			if st != next {
+				t.Fatalf("start=%d pos=%d: phase starts at %d, want %d", start, pos, st, next)
+			}
+			if l < 1 {
+				t.Fatalf("start=%d pos=%d: empty phase", start, pos)
+			}
+			next = st + l
+		}
+		if next != s.TotalRounds() {
+			t.Fatalf("start=%d: spans cover %d rounds, total says %d", start, next, s.TotalRounds())
+		}
+	}
+}
+
+func TestScheduleBroadcastLayout(t *testing.T) {
+	p := DefaultParams(1<<20, 0.3) // large n so T >= 1
+	if p.T < 1 {
+		t.Skipf("need T >= 1, got %d", p.T)
+	}
+	s, err := NewSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhases := 1 + p.T + 1 + p.K + 1
+	if got := s.NumPhases(); got != wantPhases {
+		t.Fatalf("NumPhases = %d, want %d", got, wantPhases)
+	}
+	// Phase 0 has length BetaS.
+	ref, start, l := s.PhaseByPosition(0)
+	if ref != (PhaseRef{StageI, 0}) || start != 0 || l != p.BetaS {
+		t.Errorf("phase 0: %v start=%d len=%d", ref, start, l)
+	}
+	// Phase T+1 has length BetaF.
+	ref, _, l = s.PhaseByPosition(1 + p.T)
+	if ref != (PhaseRef{StageI, p.T + 1}) || l != p.BetaF {
+		t.Errorf("phase T+1: %v len=%d want %d", ref, l, p.BetaF)
+	}
+	// Final phase has length MFinal.
+	ref, _, l = s.PhaseByPosition(s.NumPhases() - 1)
+	if ref != (PhaseRef{StageII, p.K + 1}) || l != p.MFinal() {
+		t.Errorf("final phase: %v len=%d want %d", ref, l, p.MFinal())
+	}
+	if s.TotalRounds() != p.TotalRounds() {
+		t.Errorf("schedule total %d != params total %d", s.TotalRounds(), p.TotalRounds())
+	}
+}
+
+func TestScheduleConsensusSkipsEarlyPhases(t *testing.T) {
+	p := DefaultParams(1<<20, 0.3)
+	if p.T < 2 {
+		t.Skipf("need T >= 2, got %d", p.T)
+	}
+	s, err := NewSchedule(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, start, _ := s.PhaseByPosition(0)
+	if ref != (PhaseRef{StageI, 2}) || start != 0 {
+		t.Fatalf("first phase = %v at %d, want I.2 at 0", ref, start)
+	}
+	if s.TotalRounds() >= p.TotalRounds() {
+		t.Error("consensus schedule should be shorter than broadcast")
+	}
+	if s.StartPhase() != 2 {
+		t.Errorf("StartPhase = %d", s.StartPhase())
+	}
+}
+
+func TestScheduleAtAgreesWithSpans(t *testing.T) {
+	p := DefaultParams(2048, 0.25)
+	s, err := NewSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < s.NumPhases(); pos++ {
+		ref, start, l := s.PhaseByPosition(pos)
+		for _, r := range []int{start, start + l/2, start + l - 1} {
+			gotRef, in, last, ok := s.At(r)
+			if !ok {
+				t.Fatalf("At(%d) not ok", r)
+			}
+			if gotRef != ref {
+				t.Fatalf("At(%d) = %v, want %v", r, gotRef, ref)
+			}
+			if in != r-start {
+				t.Fatalf("At(%d) inPhase = %d, want %d", r, in, r-start)
+			}
+			if wantLast := r == start+l-1; last != wantLast {
+				t.Fatalf("At(%d) last = %v, want %v", r, last, wantLast)
+			}
+		}
+	}
+}
+
+func TestScheduleAtOutOfRange(t *testing.T) {
+	p := DefaultParams(256, 0.3)
+	s, err := NewSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := s.At(-1); ok {
+		t.Error("At(-1) should not be ok")
+	}
+	if _, _, _, ok := s.At(s.TotalRounds()); ok {
+		t.Error("At(total) should not be ok")
+	}
+	if _, _, _, ok := s.At(s.TotalRounds() - 1); !ok {
+		t.Error("At(total-1) should be ok")
+	}
+}
+
+func TestScheduleStageIEnd(t *testing.T) {
+	p := DefaultParams(1024, 0.3)
+	s, err := NewSchedule(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := s.StageIEnd()
+	if end != p.StageIRounds() {
+		t.Fatalf("StageIEnd = %d, want %d", end, p.StageIRounds())
+	}
+	ref, _, _, ok := s.At(end)
+	if !ok || ref.Stage != StageII {
+		t.Fatalf("round %d should start Stage II, got %v", end, ref)
+	}
+	ref, _, _, _ = s.At(end - 1)
+	if ref.Stage != StageI {
+		t.Fatalf("round %d should be Stage I, got %v", end-1, ref)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	p := DefaultParams(1024, 0.3)
+	if _, err := NewSchedule(p, -1); err == nil {
+		t.Error("negative start phase accepted")
+	}
+	if _, err := NewSchedule(p, p.T+2); err == nil {
+		t.Error("start phase beyond T+1 accepted")
+	}
+	bad := p
+	bad.Gamma = 4
+	if _, err := NewSchedule(bad, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestPhaseRefString(t *testing.T) {
+	if got := (PhaseRef{StageI, 3}).String(); got != "I.3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (PhaseRef{StageII, 1}).String(); got != "II.1" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+// StageIPhaseStat records the quantities Section 2.1 reasons about for one
+// Stage I phase: X_i (cumulative activated), Y_i (newly activated during
+// the phase), Z_i (newly activated whose initial opinion is correct), and
+// the phase bias ε_i with Z_i = (1/2 + ε_i)·Y_i.
+type StageIPhaseStat struct {
+	// Phase is the paper's phase index (0..T+1).
+	Phase int
+	// StartRound and Rounds give the phase's absolute position.
+	StartRound, Rounds int
+	// Activated is X_i: agents activated by the end of the phase
+	// (excluding the source / pre-opinionated set).
+	Activated int
+	// NewlyActivated is Y_i.
+	NewlyActivated int
+	// NewlyCorrect is Z_i.
+	NewlyCorrect int
+}
+
+// Bias returns ε_i = Z_i/Y_i − 1/2, or 0 when the phase activated nobody.
+func (s StageIPhaseStat) Bias() float64 {
+	if s.NewlyActivated == 0 {
+		return 0
+	}
+	return float64(s.NewlyCorrect)/float64(s.NewlyActivated) - 0.5
+}
+
+// StageIIPhaseStat records one Stage II phase: how many agents were
+// successful (received at least the subset size) and the population's
+// opinion split after the phase's majority updates.
+type StageIIPhaseStat struct {
+	// Phase is the Stage II phase index (1..K+1).
+	Phase int
+	// StartRound and Rounds give the phase's absolute position.
+	StartRound, Rounds int
+	// Successful counts agents that updated (received enough samples).
+	Successful int
+	// Correct counts agents holding the target opinion after the phase.
+	Correct int
+	// Population is the total number of agents.
+	Population int
+}
+
+// Bias returns δ after the phase: fraction correct − 1/2.
+func (s StageIIPhaseStat) Bias() float64 {
+	if s.Population == 0 {
+		return 0
+	}
+	return float64(s.Correct)/float64(s.Population) - 0.5
+}
+
+// Telemetry aggregates per-phase statistics of one protocol run. It is
+// measurement-only: the protocol's decisions never read it.
+type Telemetry struct {
+	// StageI has one entry per executed Stage I phase, in order.
+	StageI []StageIPhaseStat
+	// StageII has one entry per executed Stage II phase, in order.
+	StageII []StageIIPhaseStat
+	// BiasAfterStageI is the population bias toward the target when
+	// Stage I completed (δ₁ in §2.2, counting agents without an opinion
+	// as incorrect).
+	BiasAfterStageI float64
+	// ActivatedAfterStageI counts agents holding any opinion when
+	// Stage I completed.
+	ActivatedAfterStageI int
+}

@@ -1,0 +1,56 @@
+package core
+
+// Variant selects ablations of the protocol's decision rules. The zero
+// value is the paper's algorithm. The variants exist because the paper
+// itself discusses them:
+//
+//   - Remark 2.1: in the fully-synchronous setting, adopting the *first*
+//     message of the activation phase instead of a uniformly random one
+//     changes nothing (the random choice only matters for §3's
+//     order-invariance). FirstMessage implements that alternative.
+//   - Remark 2.10: likewise, Stage II may use the first mᵢ/2 samples
+//     instead of a uniformly random subset. PrefixSubset implements it.
+//   - §1.6: the protocol's namesake rule — staying silent through the
+//     activation phase — is what controls reliability decay. NoBreathe
+//     removes it (an agent adopts its first message immediately and
+//     starts forwarding in the next round), reproducing the "immediately
+//     forwarding" failure mode inside the full two-stage protocol.
+//   - FullSampleMajority replaces the random γ-subset by the majority of
+//     *all* received samples — strictly more information, a natural
+//     engineering ablation of the subset rule.
+type Variant struct {
+	// NoBreathe removes the Stage I waiting rule (§1.6 strawman).
+	NoBreathe bool
+	// FirstMessage adopts the first message heard during the activation
+	// phase (Remark 2.1 alternative).
+	FirstMessage bool
+	// PrefixSubset takes the first γ Stage II samples instead of a
+	// uniform γ-subset (Remark 2.10 alternative).
+	PrefixSubset bool
+	// FullSampleMajority takes the majority of all Stage II samples
+	// received in the phase instead of a γ-subset.
+	FullSampleMajority bool
+}
+
+// IsPaper reports whether the variant is the unmodified paper algorithm.
+func (v Variant) IsPaper() bool { return v == Variant{} }
+
+// Name returns a short label for tables.
+func (v Variant) Name() string {
+	switch v {
+	case Variant{}:
+		return "paper"
+	case Variant{NoBreathe: true}:
+		return "no-breathe"
+	case Variant{FirstMessage: true, PrefixSubset: true}:
+		return "first-msg+prefix"
+	case Variant{FirstMessage: true}:
+		return "first-message"
+	case Variant{PrefixSubset: true}:
+		return "prefix-subset"
+	case Variant{FullSampleMajority: true}:
+		return "full-majority"
+	default:
+		return "custom"
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"breathe/internal/channel"
+	"breathe/internal/sim"
+)
+
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		v    Variant
+		want string
+	}{
+		{Variant{}, "paper"},
+		{Variant{NoBreathe: true}, "no-breathe"},
+		{Variant{FirstMessage: true}, "first-message"},
+		{Variant{PrefixSubset: true}, "prefix-subset"},
+		{Variant{FirstMessage: true, PrefixSubset: true}, "first-msg+prefix"},
+		{Variant{FullSampleMajority: true}, "full-majority"},
+		{Variant{PrefixSubset: true, FullSampleMajority: true}, "custom"},
+	}
+	for _, c := range cases {
+		if got := c.v.Name(); got != c.want {
+			t.Errorf("%+v: Name() = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if !(Variant{}).IsPaper() {
+		t.Error("zero variant should be the paper algorithm")
+	}
+	if (Variant{NoBreathe: true}).IsPaper() {
+		t.Error("NoBreathe is not the paper algorithm")
+	}
+}
+
+func TestVariantProtocolName(t *testing.T) {
+	p, err := NewBroadcastVariant(DefaultParams(128, 0.3), channel.One, Variant{NoBreathe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "breathe-broadcast[no-breathe]" {
+		t.Errorf("name %q", p.Name())
+	}
+	std, _ := NewBroadcast(DefaultParams(128, 0.3), channel.One)
+	if std.Name() != "breathe-broadcast" {
+		t.Errorf("paper name %q", std.Name())
+	}
+}
+
+// runVariant executes the variant across seeds and reports (unanimously
+// correct, wrong-majority) counts.
+func runVariant(t *testing.T, v Variant, n int, eps float64, seeds int) (ok, wrongMajority int) {
+	t.Helper()
+	params := DefaultParams(n, eps)
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		p, err := NewBroadcastVariant(params, channel.One, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(eps), Seed: seed}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllCorrect(channel.One) {
+			ok++
+		}
+		if res.Opinions[channel.Zero] > res.Opinions[channel.One] {
+			wrongMajority++
+		}
+	}
+	return ok, wrongMajority
+}
+
+// TestRemark21FirstMessageEquivalent checks Remark 2.1: adopting the
+// first message of the activation phase is as good as a random one in the
+// fully-synchronous setting.
+func TestRemark21FirstMessageEquivalent(t *testing.T) {
+	ok, wrong := runVariant(t, Variant{FirstMessage: true}, 1024, 0.3, 6)
+	if ok < 5 || wrong > 0 {
+		t.Fatalf("first-message variant: %d/6 ok, %d wrong-majority", ok, wrong)
+	}
+}
+
+// TestRemark210PrefixSubsetEquivalent checks Remark 2.10: taking the
+// first γ samples instead of a uniform subset preserves correctness.
+func TestRemark210PrefixSubsetEquivalent(t *testing.T) {
+	ok, wrong := runVariant(t, Variant{PrefixSubset: true}, 1024, 0.3, 6)
+	if ok < 5 || wrong > 0 {
+		t.Fatalf("prefix-subset variant: %d/6 ok, %d wrong-majority", ok, wrong)
+	}
+}
+
+// TestFullSampleMajorityWorks: using all samples is strictly more
+// information than a γ-subset and must also converge.
+func TestFullSampleMajorityWorks(t *testing.T) {
+	ok, wrong := runVariant(t, Variant{FullSampleMajority: true}, 1024, 0.3, 6)
+	if ok < 5 || wrong > 0 {
+		t.Fatalf("full-majority variant: %d/6 ok, %d wrong-majority", ok, wrong)
+	}
+}
+
+// TestNoBreatheAblationFails reproduces §1.6 in protocol form: without
+// the waiting rule, reliability decays per relay hop, Stage I's aggregate
+// bias lands near a coin flip, and Stage II then amplifies whichever side
+// chance favoured — the population converges unanimously to the WRONG
+// opinion with non-negligible probability. At ε = 0.15 and n = 2048 the
+// effect is strong (empirically ~40% wrong-majority over these seeds vs
+// 0% for the paper algorithm).
+func TestNoBreatheAblationFails(t *testing.T) {
+	const n, seeds = 2048, 10
+	eps := 0.15
+	okPaper, wrongPaper := runVariant(t, Variant{}, n, eps, seeds)
+	okAblated, wrongAblated := runVariant(t, Variant{NoBreathe: true}, n, eps, seeds)
+	if okPaper < seeds-1 || wrongPaper > 0 {
+		t.Fatalf("paper algorithm itself unreliable: %d/%d ok, %d wrong", okPaper, seeds, wrongPaper)
+	}
+	if wrongAblated == 0 && okAblated >= okPaper {
+		t.Fatalf("no-breathe ablation showed no degradation: %d/%d ok, %d wrong-majority",
+			okAblated, seeds, wrongAblated)
+	}
+}
+
+// TestFirstMessageSendPatternUnchanged: Remark 2.1's variant changes only
+// which bit is adopted, never who sends when, so the message pattern must
+// match the paper algorithm exactly under the same seed.
+func TestFirstMessageSendPatternUnchanged(t *testing.T) {
+	const n = 512
+	run := func(v Variant) int64 {
+		p, err := NewBroadcastVariant(DefaultParams(n, 0.3), channel.One, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(0.3), Seed: 17}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MessagesSent
+	}
+	if a, b := run(Variant{}), run(Variant{FirstMessage: true}); a != b {
+		t.Fatalf("message totals diverged: paper %d vs first-message %d", a, b)
+	}
+}

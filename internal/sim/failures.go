@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"breathe/internal/rng"
+)
+
+// CrashAt fails a fixed set of agents from a given round onward.
+type CrashAt struct {
+	// Round is the first round in which the agents are down.
+	Round int
+	// Agents is the set of crashed agent ids.
+	Agents map[int]bool
+}
+
+// Crashed implements FailurePlan.
+func (c *CrashAt) Crashed(a, round int) bool {
+	return round >= c.Round && c.Agents[a]
+}
+
+// NewCrashAt builds a CrashAt plan from a list of agent ids.
+func NewCrashAt(round int, agents ...int) *CrashAt {
+	m := make(map[int]bool, len(agents))
+	for _, a := range agents {
+		m[a] = true
+	}
+	return &CrashAt{Round: round, Agents: m}
+}
+
+// RandomCrashes fails each agent independently with a fixed probability,
+// deciding once per agent at a given round (initial crash faults from the
+// broadcast literature when Round is 0).
+type RandomCrashes struct {
+	crashed map[int]bool
+	round   int
+}
+
+// NewRandomCrashes samples the crash set: each of the n agents except the
+// protected ones crashes with probability p at the given round, using r.
+func NewRandomCrashes(n int, p float64, round int, r *rng.RNG, protected ...int) *RandomCrashes {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: crash probability %v outside [0,1]", p))
+	}
+	keep := make(map[int]bool, len(protected))
+	for _, a := range protected {
+		keep[a] = true
+	}
+	m := make(map[int]bool)
+	for a := 0; a < n; a++ {
+		if keep[a] {
+			continue
+		}
+		if r.Bernoulli(p) {
+			m[a] = true
+		}
+	}
+	return &RandomCrashes{crashed: m, round: round}
+}
+
+// Crashed implements FailurePlan.
+func (c *RandomCrashes) Crashed(a, round int) bool {
+	return round >= c.round && c.crashed[a]
+}
+
+// NumCrashed reports the size of the crash set.
+func (c *RandomCrashes) NumCrashed() int { return len(c.crashed) }
+
+var (
+	_ FailurePlan = (*CrashAt)(nil)
+	_ FailurePlan = (*RandomCrashes)(nil)
+)

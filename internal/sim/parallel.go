@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SeedRun couples one seed's Result with the protocol instance that
+// produced it (for telemetry extraction).
+type SeedRun struct {
+	// Seed is the seed the run used.
+	Seed uint64
+	// Result is the completed run's summary.
+	Result Result
+	// Protocol is the protocol instance after the run.
+	Protocol Protocol
+}
+
+// RunSeeds executes seeds independent runs of the configuration,
+// distributing them over workers goroutines (0 = GOMAXPROCS). Each run
+// gets a fresh protocol from factory and a Config whose Seed field is
+// replaced by the run's seed, so runs are exactly as reproducible as
+// serial Run calls. Results are returned in seed order.
+//
+// Every engine and protocol instance is confined to a single worker
+// goroutine; no simulation state is shared, so the protocols need no
+// synchronization.
+func RunSeeds(cfg Config, factory func() Protocol, seeds, workers int) ([]SeedRun, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("sim: RunSeeds with %d seeds", seeds)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("sim: RunSeeds with nil factory")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > seeds {
+		workers = seeds
+	}
+	// Validate once up front so workers cannot race on a broken config.
+	if _, err := NewEngine(cfg); err != nil {
+		return nil, err
+	}
+
+	out := make([]SeedRun, seeds)
+	errs := make([]error, seeds)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runCfg := cfg
+				runCfg.Seed = uint64(i)
+				proto := factory()
+				res, err := Run(runCfg, proto)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i] = SeedRun{Seed: runCfg.Seed, Result: res, Protocol: proto}
+			}
+		}()
+	}
+	for i := 0; i < seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SuccessRate reports the fraction of runs whose entire population
+// adopted the opinion that predicate accepts.
+func SuccessRate(runs []SeedRun, ok func(Result) bool) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range runs {
+		if ok(r.Result) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(runs))
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"breathe/internal/channel"
+)
+
+func TestRunSeedsMatchesSerial(t *testing.T) {
+	cfg := Config{N: 64, Channel: channel.FromEpsilon(0.3)}
+	const seeds = 8
+	runs, err := RunSeeds(cfg, func() Protocol { return &chatter{rounds: 30} }, seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != seeds {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	for i, r := range runs {
+		if r.Seed != uint64(i) {
+			t.Fatalf("run %d has seed %d", i, r.Seed)
+		}
+		serialCfg := cfg
+		serialCfg.Seed = uint64(i)
+		want, err := Run(serialCfg, &chatter{rounds: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result != want {
+			t.Fatalf("seed %d: parallel %+v != serial %+v", i, r.Result, want)
+		}
+		if r.Protocol == nil {
+			t.Fatalf("seed %d: missing protocol", i)
+		}
+	}
+}
+
+func TestRunSeedsSingleWorker(t *testing.T) {
+	cfg := Config{N: 32, Channel: channel.Noiseless{}}
+	runs, err := RunSeeds(cfg, func() Protocol { return &chatter{rounds: 5} }, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+}
+
+func TestRunSeedsDefaultWorkers(t *testing.T) {
+	cfg := Config{N: 32, Channel: channel.Noiseless{}}
+	if _, err := RunSeeds(cfg, func() Protocol { return &chatter{rounds: 2} }, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeedsValidation(t *testing.T) {
+	cfg := Config{N: 32, Channel: channel.Noiseless{}}
+	if _, err := RunSeeds(cfg, func() Protocol { return &chatter{rounds: 1} }, 0, 1); err == nil {
+		t.Error("0 seeds accepted")
+	}
+	if _, err := RunSeeds(cfg, nil, 2, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+	bad := Config{N: 1, Channel: channel.Noiseless{}}
+	if _, err := RunSeeds(bad, func() Protocol { return &chatter{rounds: 1} }, 2, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	runs := []SeedRun{
+		{Result: Result{Opinions: [2]int{0, 10}}},
+		{Result: Result{Opinions: [2]int{5, 5}}},
+	}
+	got := SuccessRate(runs, func(r Result) bool { return r.AllCorrect(channel.One) })
+	if got != 0.5 {
+		t.Fatalf("SuccessRate = %v", got)
+	}
+	if SuccessRate(nil, func(Result) bool { return true }) != 0 {
+		t.Fatal("empty runs should rate 0")
+	}
+}

@@ -1,0 +1,307 @@
+// Package sim implements the Flip model's execution environment (paper
+// §1.3.2): a population of n anonymous agents proceeding in synchronous
+// rounds. In every round each agent may either wait or push a single-bit
+// message to a uniformly random other agent; a receiver that is targeted
+// by several messages accepts exactly one of them, chosen uniformly at
+// random, and the rest are dropped; every accepted bit passes through a
+// noisy channel.
+//
+// The model is round-synchronous by definition, so the engine is a simple
+// deterministic loop — no goroutines are needed or used. Determinism:
+// a run is a pure function of (protocol, population size, channel, seed).
+package sim
+
+import (
+	"fmt"
+
+	"breathe/internal/channel"
+	"breathe/internal/rng"
+)
+
+// Protocol is a distributed algorithm in the Flip model, expressed as the
+// per-agent decision rules the engine queries each round. Implementations
+// keep all per-agent state internally; the engine never inspects it.
+//
+// Symmetry (paper §1.3.4): whether an agent sends in a round must not
+// depend on opinion values, only on its activation history — all
+// protocols in this repository honour that contract, and tests check it.
+type Protocol interface {
+	// Name identifies the protocol in traces and tables.
+	Name() string
+	// Setup is called once before round 0. r is the protocol's private
+	// random stream.
+	Setup(n int, r *rng.RNG)
+	// Send reports whether agent a pushes a message in the given round
+	// and, if so, which bit.
+	Send(a, round int) (bit channel.Bit, ok bool)
+	// Receive notifies the protocol that agent a accepted bit in round.
+	// At most one Receive per agent per round, per the model.
+	Receive(a int, bit channel.Bit, round int)
+	// EndRound is called after all deliveries of round. Phase-boundary
+	// opinion updates happen here.
+	EndRound(round int)
+	// Done reports whether the protocol has terminated before the given
+	// round starts; the engine stops without executing it.
+	Done(round int) bool
+	// Opinion returns agent a's current opinion, with ok=false when the
+	// agent holds none yet.
+	Opinion(a int) (bit channel.Bit, ok bool)
+}
+
+// FailurePlan optionally injects crash faults: a crashed agent neither
+// sends nor receives from its crash round on. Used by robustness tests;
+// the paper's model itself has no crashes.
+type FailurePlan interface {
+	// Crashed reports whether agent a is down in the given round.
+	Crashed(a, round int) bool
+}
+
+// Observer is called at the end of every executed round; used for tracing.
+type Observer func(round int, e *Engine)
+
+// Config assembles a simulation run.
+type Config struct {
+	// N is the population size (>= 2).
+	N int
+	// Channel is the noise model applied to every accepted message.
+	Channel channel.Channel
+	// Seed determines all randomness of the run.
+	Seed uint64
+	// MaxRounds caps execution; a run that reaches it without the
+	// protocol terminating is reported with Truncated = true. Zero means
+	// a generous default of 1<<20 rounds.
+	MaxRounds int
+	// AllowSelfMessages selects whether a sender may pick itself as the
+	// recipient. The classical push-gossip convention (used here by
+	// default) excludes self-delivery; the difference is O(1/n) and no
+	// result in the paper depends on it.
+	AllowSelfMessages bool
+	// DropProb is an optional per-message loss probability applied
+	// before recipient selection (weak "message failure" faults from the
+	// broadcast literature, cf. paper §1.2). Zero disables.
+	DropProb float64
+	// Failures optionally injects crash faults.
+	Failures FailurePlan
+	// Observer, if set, runs after every executed round.
+	Observer Observer
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("sim: population size %d < 2", c.N)
+	}
+	if c.Channel == nil {
+		return fmt.Errorf("sim: nil channel")
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("sim: drop probability %v outside [0, 1)", c.DropProb)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("sim: negative MaxRounds %d", c.MaxRounds)
+	}
+	return nil
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Protocol is the protocol's Name.
+	Protocol string
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// MessagesSent counts every push (equals total bits, messages are
+	// one bit).
+	MessagesSent int64
+	// MessagesAccepted counts deliveries that reached a Receive call.
+	MessagesAccepted int64
+	// MessagesDropped counts collision losses (and DropProb losses).
+	MessagesDropped int64
+	// Truncated reports that MaxRounds was reached before Done.
+	Truncated bool
+	// Opinions counts final opinions: Opinions[b] agents hold bit b.
+	Opinions [2]int
+	// Undecided counts agents with no opinion at the end.
+	Undecided int
+}
+
+// CorrectFraction returns the fraction of the population holding the
+// target opinion.
+func (r Result) CorrectFraction(target channel.Bit) float64 {
+	total := r.Opinions[0] + r.Opinions[1] + r.Undecided
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Opinions[target]) / float64(total)
+}
+
+// Bias returns the bias toward target as defined in the paper:
+// (fraction correct) − 1/2.
+func (r Result) Bias(target channel.Bit) float64 {
+	return r.CorrectFraction(target) - 0.5
+}
+
+// AllCorrect reports whether every agent decided on the target opinion.
+func (r Result) AllCorrect(target channel.Bit) bool {
+	total := r.Opinions[0] + r.Opinions[1] + r.Undecided
+	return r.Opinions[target] == total
+}
+
+// Engine executes protocols under a Config. Engines are single-use: build
+// one with NewEngine, call Run once, then read the Result. Mid-run state
+// (per-agent inboxes and opinion snapshots) is exposed to Observers.
+type Engine struct {
+	cfg Config
+
+	engineRNG  *rng.RNG // recipient selection, collision resolution, drops
+	channelRNG *rng.RNG // noise
+	protoRNG   *rng.RNG // protocol-private randomness
+
+	// Per-round reservoir state, stamped with the round number so no O(n)
+	// clearing is needed.
+	inBit   []channel.Bit
+	inCount []int32
+	inStamp []int32
+
+	round    int
+	sent     int64
+	accepted int64
+	dropped  int64
+}
+
+// NewEngine validates cfg and prepares an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	root := rng.New(cfg.Seed)
+	e := &Engine{
+		cfg:        cfg,
+		engineRNG:  root.Split(),
+		channelRNG: root.Split(),
+		protoRNG:   root.Split(),
+		inBit:      make([]channel.Bit, cfg.N),
+		inCount:    make([]int32, cfg.N),
+		inStamp:    make([]int32, cfg.N),
+	}
+	for i := range e.inStamp {
+		e.inStamp[i] = -1
+	}
+	return e, nil
+}
+
+// N returns the population size.
+func (e *Engine) N() int { return e.cfg.N }
+
+// Round returns the index of the round currently executing (valid inside
+// Observer callbacks).
+func (e *Engine) Round() int { return e.round }
+
+// MessagesSent returns the running total of pushes.
+func (e *Engine) MessagesSent() int64 { return e.sent }
+
+// Run executes p until it reports Done or MaxRounds is hit.
+func (e *Engine) Run(p Protocol) Result {
+	n := e.cfg.N
+	p.Setup(n, e.protoRNG)
+
+	res := Result{Protocol: p.Name()}
+	for e.round = 0; e.round < e.cfg.MaxRounds; e.round++ {
+		if p.Done(e.round) {
+			break
+		}
+		e.step(p)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer(e.round, e)
+		}
+	}
+	res.Rounds = e.round
+	res.Truncated = e.round >= e.cfg.MaxRounds && !p.Done(e.round)
+	res.MessagesSent = e.sent
+	res.MessagesAccepted = e.accepted
+	res.MessagesDropped = e.dropped
+	for a := 0; a < n; a++ {
+		if b, ok := p.Opinion(a); ok {
+			res.Opinions[b]++
+		} else {
+			res.Undecided++
+		}
+	}
+	return res
+}
+
+// step runs a single round: collect sends, deliver with accept-one
+// semantics, apply noise, notify the protocol.
+func (e *Engine) step(p Protocol) {
+	n := e.cfg.N
+	round := e.round
+	stamp := int32(round)
+
+	for a := 0; a < n; a++ {
+		if e.cfg.Failures != nil && e.cfg.Failures.Crashed(a, round) {
+			continue
+		}
+		bit, ok := p.Send(a, round)
+		if !ok {
+			continue
+		}
+		e.sent++
+		if e.cfg.DropProb > 0 && e.engineRNG.Bernoulli(e.cfg.DropProb) {
+			e.dropped++
+			continue
+		}
+		dst := e.pickRecipient(a, n)
+		// Reservoir-sample one accepted message per recipient: the k-th
+		// arrival replaces the current candidate with probability 1/k,
+		// which is exactly "accept one uniformly at random" without
+		// buffering the colliding messages.
+		if e.inStamp[dst] != stamp {
+			e.inStamp[dst] = stamp
+			e.inCount[dst] = 1
+			e.inBit[dst] = bit
+		} else {
+			e.inCount[dst]++
+			if e.engineRNG.Uint64n(uint64(e.inCount[dst])) == 0 {
+				e.inBit[dst] = bit
+			}
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		if e.inStamp[a] != stamp {
+			continue
+		}
+		e.dropped += int64(e.inCount[a] - 1)
+		if e.cfg.Failures != nil && e.cfg.Failures.Crashed(a, round) {
+			e.dropped++
+			continue
+		}
+		e.accepted++
+		got := e.cfg.Channel.Transmit(e.inBit[a], e.channelRNG)
+		p.Receive(a, got, round)
+	}
+
+	p.EndRound(round)
+}
+
+// pickRecipient draws the destination for a message from sender.
+func (e *Engine) pickRecipient(sender, n int) int {
+	if e.cfg.AllowSelfMessages {
+		return e.engineRNG.Intn(n)
+	}
+	dst := e.engineRNG.Intn(n - 1)
+	if dst >= sender {
+		dst++
+	}
+	return dst
+}
+
+// Run is the package-level convenience: build an engine for cfg and run p.
+func Run(cfg Config, p Protocol) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(p), nil
+}

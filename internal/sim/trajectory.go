@@ -1,0 +1,58 @@
+package sim
+
+import "breathe/internal/channel"
+
+// Trajectory records, per executed round, how many agents hold each
+// opinion. Attach via Observer; read the series after the run. The
+// per-round scan is O(n), so use it for analysis runs, not benchmarks.
+type Trajectory struct {
+	proto Protocol
+
+	// Correct[r] is the number of agents holding target after round r.
+	Correct []int
+	// Decided[r] is the number of agents holding any opinion after
+	// round r.
+	Decided []int
+
+	target channel.Bit
+}
+
+// NewTrajectory builds a recorder for proto measured against target.
+func NewTrajectory(proto Protocol, target channel.Bit) *Trajectory {
+	return &Trajectory{proto: proto, target: target}
+}
+
+// Observe is the Observer callback.
+func (t *Trajectory) Observe(round int, e *Engine) {
+	correct, decided := 0, 0
+	for a := 0; a < e.N(); a++ {
+		if b, ok := t.proto.Opinion(a); ok {
+			decided++
+			if b == t.target {
+				correct++
+			}
+		}
+	}
+	t.Correct = append(t.Correct, correct)
+	t.Decided = append(t.Decided, decided)
+}
+
+// BiasSeries returns the per-round bias toward the target: correct/n − ½.
+func (t *Trajectory) BiasSeries(n int) []float64 {
+	out := make([]float64, len(t.Correct))
+	for i, c := range t.Correct {
+		out[i] = float64(c)/float64(n) - 0.5
+	}
+	return out
+}
+
+// FirstRoundAllCorrect returns the first round after which every agent
+// held the target opinion, or -1 if that never happened.
+func (t *Trajectory) FirstRoundAllCorrect(n int) int {
+	for i, c := range t.Correct {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}

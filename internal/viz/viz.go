@@ -1,0 +1,190 @@
+// Package viz renders simple terminal plots (line charts and scatter
+// plots on a character grid) for simulation output: bias trajectories,
+// scaling curves, success-rate sweeps. Standard library only; the plots
+// are deterministic so they can be asserted in tests.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot is a character-grid chart. Build with NewPlot, add one or more
+// series, then Render.
+type Plot struct {
+	title         string
+	width, height int
+	xlabel        string
+	ylabel        string
+	series        []series
+	// optional fixed ranges; NaN means autoscale.
+	xmin, xmax, ymin, ymax float64
+	logX, logY             bool
+}
+
+type series struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// NewPlot creates a plot with the given title and grid size (characters).
+// Width and height are clamped to at least 16×4.
+func NewPlot(title string, width, height int) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Plot{
+		title: title, width: width, height: height,
+		xmin: math.NaN(), xmax: math.NaN(), ymin: math.NaN(), ymax: math.NaN(),
+	}
+}
+
+// XLabel sets the x-axis label.
+func (p *Plot) XLabel(s string) *Plot { p.xlabel = s; return p }
+
+// YLabel sets the y-axis label.
+func (p *Plot) YLabel(s string) *Plot { p.ylabel = s; return p }
+
+// YRange fixes the y-axis range instead of autoscaling.
+func (p *Plot) YRange(min, max float64) *Plot {
+	if !(min < max) {
+		panic(fmt.Sprintf("viz: invalid y range [%v, %v]", min, max))
+	}
+	p.ymin, p.ymax = min, max
+	return p
+}
+
+// LogLog switches both axes to logarithmic scale (all data must be
+// positive).
+func (p *Plot) LogLog() *Plot { p.logX, p.logY = true, true; return p }
+
+// Line adds a series plotted with the given marker. xs and ys must have
+// equal nonzero length.
+func (p *Plot) Line(name string, marker byte, xs, ys []float64) *Plot {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic(fmt.Sprintf("viz: series %q has %d xs and %d ys", name, len(xs), len(ys)))
+	}
+	p.series = append(p.series, series{name: name, marker: marker, xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)})
+	return p
+}
+
+// Series adds a y-only series with xs = 0..len-1 (a trajectory).
+func (p *Plot) Series(name string, marker byte, ys []float64) *Plot {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return p.Line(name, marker, xs, ys)
+}
+
+func (p *Plot) transform(x, y float64) (float64, float64) {
+	if p.logX {
+		x = math.Log10(x)
+	}
+	if p.logY {
+		y = math.Log10(y)
+	}
+	return x, y
+}
+
+// Render writes the plot to w.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("viz: plot %q has no series", p.title)
+	}
+	// Determine ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := p.transform(s.xs[i], s.ys[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return fmt.Errorf("viz: series %q has non-finite point after transform (log scale with nonpositive data?)", s.name)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !math.IsNaN(p.ymin) {
+		ymin, ymax = p.ymin, p.ymax
+		if p.logY {
+			ymin, ymax = math.Log10(ymin), math.Log10(ymax)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	plot := func(x, y float64, marker byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(p.width-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(p.height-1)))
+		if col < 0 || col >= p.width || row < 0 || row >= p.height {
+			return
+		}
+		grid[p.height-1-row][col] = marker
+	}
+	for _, s := range p.series {
+		// Linear interpolation between consecutive points for line look.
+		for i := 0; i+1 < len(s.xs); i++ {
+			x0, y0 := p.transform(s.xs[i], s.ys[i])
+			x1, y1 := p.transform(s.xs[i+1], s.ys[i+1])
+			steps := p.width
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(x0+f*(x1-x0), y0+f*(y1-y0), s.marker)
+			}
+		}
+		for i := range s.xs {
+			x, y := p.transform(s.xs[i], s.ys[i])
+			plot(x, y, s.marker)
+		}
+	}
+
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	yTop, yBot := ymax, ymin
+	if p.logY {
+		yTop, yBot = math.Pow(10, ymax), math.Pow(10, ymin)
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", yTop)
+		} else if r == p.height-1 {
+			label = fmt.Sprintf("%8.3g", yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	xLo, xHi := xmin, xmax
+	if p.logX {
+		xLo, xHi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 8), p.width/2, xLo, p.width-p.width/2, xHi)
+	if p.xlabel != "" || p.ylabel != "" {
+		fmt.Fprintf(&b, "          x: %s   y: %s\n", p.xlabel, p.ylabel)
+	}
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c = %s", s.marker, s.name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "          %s\n", strings.Join(legend, ", "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

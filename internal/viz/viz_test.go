@@ -1,0 +1,138 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, p *Plot) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPlotBasics(t *testing.T) {
+	p := NewPlot("demo", 40, 10).
+		XLabel("round").YLabel("bias").
+		Series("bias", '*', []float64{0, 0.1, 0.2, 0.3, 0.5})
+	out := render(t, p)
+	for _, want := range []string{"demo", "*", "x: round", "y: bias", "* = bias"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 grid rows + x-axis + labels + legend
+	if len(lines) != 14 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotMonotoneSeriesRises(t *testing.T) {
+	p := NewPlot("", 30, 8).Series("s", 'o', []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	out := render(t, p)
+	rows := strings.Split(out, "\n")
+	// The first marker of the top row must be to the right of the first
+	// marker of the bottom row (rising line).
+	var topCol, botCol int = -1, -1
+	gridRows := rows[0:8]
+	topCol = strings.IndexByte(gridRows[0], 'o')
+	botCol = strings.IndexByte(gridRows[7], 'o')
+	if topCol < 0 || botCol < 0 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if topCol <= botCol {
+		t.Errorf("rising series rendered falling (top %d, bottom %d):\n%s", topCol, botCol, out)
+	}
+}
+
+func TestPlotMultipleSeriesLegend(t *testing.T) {
+	p := NewPlot("t", 20, 5).
+		Series("a", 'a', []float64{1, 2}).
+		Series("b", 'b', []float64{2, 1})
+	out := render(t, p)
+	if !strings.Contains(out, "a = a, b = b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotYRange(t *testing.T) {
+	p := NewPlot("t", 20, 5).YRange(0, 1).Series("s", '*', []float64{0.5, 0.5})
+	out := render(t, p)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Errorf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestPlotYRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid YRange did not panic")
+		}
+	}()
+	NewPlot("t", 20, 5).YRange(1, 1)
+}
+
+func TestPlotLogLog(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	ys := []float64{2, 20, 200, 2000}
+	out := render(t, NewPlot("loglog", 40, 10).LogLog().Line("p", '+', xs, ys))
+	if !strings.Contains(out, "+") {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	// Log-scale axis labels show the original (not log) bounds.
+	if !strings.Contains(out, "1000") {
+		t.Errorf("x range label missing:\n%s", out)
+	}
+}
+
+func TestPlotLogLogRejectsNonpositive(t *testing.T) {
+	p := NewPlot("bad", 20, 5).LogLog().Line("p", '+', []float64{0, 1}, []float64{1, 2})
+	var sb strings.Builder
+	if err := p.Render(&sb); err == nil {
+		t.Fatal("log plot accepted nonpositive data")
+	}
+}
+
+func TestPlotNoSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := NewPlot("empty", 20, 5).Render(&sb); err == nil {
+		t.Fatal("empty plot rendered without error")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	out := render(t, NewPlot("const", 20, 5).Series("c", '#', []float64{3, 3, 3}))
+	if !strings.Contains(out, "#") {
+		t.Fatalf("constant series missing markers:\n%s", out)
+	}
+}
+
+func TestPlotSeriesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	NewPlot("t", 20, 5).Line("bad", '*', []float64{1, 2}, []float64{1})
+}
+
+func TestPlotMinimumSize(t *testing.T) {
+	p := NewPlot("tiny", 1, 1).Series("s", '*', []float64{1, 2})
+	out := render(t, p)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestPlotDoesNotMutateInput(t *testing.T) {
+	ys := []float64{1, 2, 3}
+	p := NewPlot("t", 20, 5).Series("s", '*', ys)
+	_ = render(t, p)
+	if ys[0] != 1 || ys[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
