@@ -3,6 +3,7 @@ package breathe
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"breathe/internal/bench"
 	"breathe/internal/channel"
@@ -112,6 +113,105 @@ func BenchmarkE17Calibration(b *testing.B) { benchExperiment(b, "E17") }
 // BenchmarkE18Faults regenerates E18: crash-fault and message-loss
 // robustness.
 func BenchmarkE18Faults(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19KernelEquivalence regenerates E19: the batched round kernel
+// reproduces the per-agent reference path.
+func BenchmarkE19KernelEquivalence(b *testing.B) { benchExperiment(b, "E19") }
+
+// --- kernel benchmarks: batched vs per-agent (PR 1 acceptance) ---
+
+// kernelBroadcast runs one full broadcast through the chosen kernel and
+// returns the Result plus the per-agent-round cost in nanoseconds. Both
+// kernels run the same model configuration: the classical push convention
+// (self-messages allowed), under which the batched kernel's aggregate
+// recipient sampling applies. The per-agent cost of the reference path is
+// insensitive to that switch.
+func kernelBroadcast(b *testing.B, n int, kernel sim.Kernel, seed uint64) (sim.Result, float64) {
+	b.Helper()
+	p, err := core.NewBroadcast(core.DefaultParams(n, 0.3), channel.One)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		N: n, Channel: channel.FromEpsilon(0.3), Seed: seed,
+		AllowSelfMessages: true, Kernel: kernel,
+	}
+	start := time.Now()
+	res, err := sim.Run(cfg, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	return res, float64(elapsed.Nanoseconds()) / (float64(n) * float64(res.Rounds))
+}
+
+// BenchmarkKernelPerAgentBroadcast100k measures the per-agent reference
+// path at n = 100,000; its ns/agent-round metric is the extrapolation
+// baseline for the million-agent batched run.
+func BenchmarkKernelPerAgentBroadcast100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, nsPerAR := kernelBroadcast(b, 100_000, sim.KernelPerAgent, uint64(i))
+		if !res.AllCorrect(channel.One) {
+			b.Fatal("broadcast failed")
+		}
+		b.ReportMetric(nsPerAR, "ns/agent-round")
+	}
+}
+
+// BenchmarkKernelBatchedBroadcast1M runs the flagship scenario: a full
+// noisy broadcast over one million agents on the batched kernel.
+func BenchmarkKernelBatchedBroadcast1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, nsPerAR := kernelBroadcast(b, 1_000_000, sim.KernelBatched, uint64(i))
+		if !res.AllCorrect(channel.One) {
+			b.Fatal("broadcast failed")
+		}
+		b.ReportMetric(nsPerAR, "ns/agent-round")
+	}
+}
+
+// BenchmarkKernelSpeedup runs both paths back to back and reports the
+// headline ratio: per-agent-round cost of the reference path at n = 10⁵
+// (extrapolated) over the batched kernel's cost at n = 10⁶. The PR 1
+// acceptance bar is ≥ 5×.
+func BenchmarkKernelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, refAR := kernelBroadcast(b, 100_000, sim.KernelPerAgent, uint64(i))
+		res, batchedAR := kernelBroadcast(b, 1_000_000, sim.KernelBatched, uint64(i))
+		if !res.AllCorrect(channel.One) {
+			b.Fatal("broadcast failed")
+		}
+		b.ReportMetric(refAR, "ref-ns/agent-round")
+		b.ReportMetric(batchedAR, "batched-ns/agent-round")
+		b.ReportMetric(refAR/batchedAR, "speedup")
+	}
+}
+
+// BenchmarkKernelBatchedConsensus1M: the same scale for the paper's second
+// problem.
+func BenchmarkKernelBatchedConsensus1M(b *testing.B) {
+	const n = 1_000_000
+	params := core.DefaultParams(n, 0.3)
+	sizeA := 4 * params.BetaS
+	for i := 0; i < b.N; i++ {
+		p, err := core.NewConsensus(params, channel.One, sizeA*3/4, sizeA-sizeA*3/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := sim.Run(sim.Config{
+			N: n, Channel: channel.FromEpsilon(0.3), Seed: uint64(i),
+			AllowSelfMessages: true, Kernel: sim.KernelBatched,
+		}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CorrectFraction(channel.One) < 0.99 {
+			b.Fatal("consensus failed")
+		}
+		b.ReportMetric(float64(time.Since(start).Nanoseconds())/(float64(n)*float64(res.Rounds)), "ns/agent-round")
+	}
+}
 
 // --- micro-benchmarks of the simulator and protocol hot paths ---
 

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunSmallBroadcastBothKernels(t *testing.T) {
+	for _, kernel := range []string{"batched", "per-agent"} {
+		if err := run([]string{"-n", "2048", "-kernel", kernel, "-seed", "3"}); err != nil {
+			t.Fatalf("kernel %s: %v", kernel, err)
+		}
+	}
+}
+
+func TestRunSmallConsensus(t *testing.T) {
+	if err := run([]string{"-protocol", "consensus", "-n", "2048", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExclusionMode(t *testing.T) {
+	// -self=false keeps the thesis model's self-exclusion; the batched
+	// kernel then uses its per-message path.
+	if err := run([]string{"-n", "1024", "-self=false", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-n", "1"},
+		{"-eps", "0.7"},
+		{"-kernel", "warp"},
+		{"-protocol", "rumor"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module breathe
+
+go 1.24

@@ -29,6 +29,8 @@ func TestGoldenRNGStream(t *testing.T) {
 }
 
 func TestGoldenBroadcastRun(t *testing.T) {
+	// Default path: the batched kernel (PR 1). Same law as the per-agent
+	// path, different draw schedule, hence its own pinned constant.
 	res, err := Broadcast(Config{N: 1024, Epsilon: 0.3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -36,10 +38,36 @@ func TestGoldenBroadcastRun(t *testing.T) {
 	if res.Rounds != 1236 {
 		t.Errorf("Rounds = %d, want 1236", res.Rounds)
 	}
-	if res.Messages != 856013 {
-		t.Errorf("Messages = %d, want 856013", res.Messages)
+	if res.Messages != 854675 {
+		t.Errorf("Messages = %d, want 854675", res.Messages)
 	}
 	if !res.Unanimous {
+		t.Error("expected unanimity")
+	}
+}
+
+func TestGoldenBroadcastRunPerAgent(t *testing.T) {
+	// The per-agent reference path must keep reproducing the seed
+	// repository's execution draw for draw: this is the original golden
+	// constant from before the batched kernel existed.
+	p, err := core.NewBroadcast(core.DefaultParams(1024, 0.3), channel.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		N: 1024, Channel: channel.FromEpsilon(0.3), Seed: 1,
+		Kernel: sim.KernelPerAgent,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1236 {
+		t.Errorf("Rounds = %d, want 1236", res.Rounds)
+	}
+	if res.MessagesSent != 856013 {
+		t.Errorf("MessagesSent = %d, want 856013", res.MessagesSent)
+	}
+	if !res.AllCorrect(channel.One) {
 		t.Error("expected unanimity")
 	}
 }

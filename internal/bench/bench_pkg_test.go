@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -36,7 +36,7 @@ func TestByID(t *testing.T) {
 	if e := ByID("nope"); e != nil {
 		t.Fatal("ByID should return nil for unknown")
 	}
-	if got := len(IDs()); got != 18 {
+	if got := len(IDs()); got != 19 {
 		t.Fatalf("IDs() returned %d", got)
 	}
 }

@@ -12,6 +12,7 @@ package channel
 
 import (
 	"fmt"
+	"math"
 
 	"breathe/internal/rng"
 )
@@ -49,6 +50,39 @@ type Channel interface {
 	Name() string
 }
 
+// BulkTransmitter is an optional fast-path extension: channels that
+// implement it corrupt a whole batch of accepted bits in one call, letting
+// the simulation engine's batched kernel avoid one interface dispatch per
+// message. TransmitBulk must be identical in law to calling Transmit once
+// per element, in order.
+type BulkTransmitter interface {
+	// TransmitBulk applies channel noise to bits in place.
+	TransmitBulk(bits []Bit, r *rng.RNG)
+}
+
+// UniformNoise is an optional capability: channels whose noise is a single
+// bit-symmetric flip probability, identical for every message. The batched
+// dense kernel uses it to co-sample collision resolution and noise from
+// one integer draw; channels with per-message noise (Heterogeneous) or
+// side effects (Counting) do not implement it and take the per-message
+// path instead.
+type UniformNoise interface {
+	// UniformFlipProb returns the exact per-message flip probability.
+	UniformFlipProb() float64
+}
+
+// TransmitAll applies c to every bit in place, using TransmitBulk when the
+// channel provides it and falling back to per-bit Transmit otherwise.
+func TransmitAll(c Channel, bits []Bit, r *rng.RNG) {
+	if bc, ok := c.(BulkTransmitter); ok {
+		bc.TransmitBulk(bits, r)
+		return
+	}
+	for i, b := range bits {
+		bits[i] = c.Transmit(b, r)
+	}
+}
+
 // BSC is the binary symmetric channel: every bit is flipped independently
 // with probability exactly p. The paper's lower bounds are stated against
 // this channel with p = 1/2 − ε; it is the worst case allowed by the model.
@@ -82,6 +116,37 @@ func (c *BSC) Transmit(b Bit, r *rng.RNG) Bit {
 	return b
 }
 
+// TransmitBulk implements BulkTransmitter. The loop body is the exact
+// integer form of Bernoulli(p): Float64() < p  ⇔  (u>>11) < ⌈p·2⁵³⌉ for the
+// 53-bit mantissa draw, so it consumes one 64-bit draw per bit and flips
+// with exactly the same law as Transmit, without per-bit interface calls.
+func (c *BSC) TransmitBulk(bits []Bit, r *rng.RNG) {
+	thresh := FlipThreshold53(c.p)
+	for i := range bits {
+		if r.Uint64()>>11 < thresh {
+			bits[i] ^= 1
+		}
+	}
+}
+
+// UniformFlipProb implements UniformNoise.
+func (c *BSC) UniformFlipProb() float64 { return c.p }
+
+// FlipThreshold53 converts a flip probability to the 53-bit integer
+// threshold t such that (Uint64()>>11) < t holds with exactly the
+// probability Bernoulli(p) accepts: P = ⌈p·2⁵³⌉/2⁵³, which equals the law
+// of Float64() < p because the mantissa draw takes integer multiples of
+// 2⁻⁵³.
+func FlipThreshold53(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
 // FlipProb implements Channel.
 func (c *BSC) FlipProb() float64 { return c.p }
 
@@ -98,6 +163,13 @@ type Noiseless struct{}
 
 // Transmit implements Channel.
 func (Noiseless) Transmit(b Bit, _ *rng.RNG) Bit { return b }
+
+// TransmitBulk implements BulkTransmitter: a no-op, consuming no draws,
+// exactly like the per-bit Transmit.
+func (Noiseless) TransmitBulk([]Bit, *rng.RNG) {}
+
+// UniformFlipProb implements UniformNoise.
+func (Noiseless) UniformFlipProb() float64 { return 0 }
 
 // FlipProb implements Channel.
 func (Noiseless) FlipProb() float64 { return 0 }
@@ -161,6 +233,16 @@ func (c *Counting) Transmit(b Bit, r *rng.RNG) Bit {
 	return out
 }
 
+// TransmitBulk implements BulkTransmitter by delegating per bit so the
+// flip accounting stays exact. Counting deliberately does not implement
+// UniformNoise: the dense kernel bypasses Transmit entirely and would
+// leave the counters empty.
+func (c *Counting) TransmitBulk(bits []Bit, r *rng.RNG) {
+	for i, b := range bits {
+		bits[i] = c.Transmit(b, r)
+	}
+}
+
 // FlipProb implements Channel.
 func (c *Counting) FlipProb() float64 { return c.Inner.FlipProb() }
 
@@ -184,8 +266,13 @@ func (c *Counting) ObservedFlipRate() float64 {
 
 // Verify interface compliance.
 var (
-	_ Channel = (*BSC)(nil)
-	_ Channel = Noiseless{}
-	_ Channel = (*Heterogeneous)(nil)
-	_ Channel = (*Counting)(nil)
+	_ Channel         = (*BSC)(nil)
+	_ Channel         = Noiseless{}
+	_ Channel         = (*Heterogeneous)(nil)
+	_ Channel         = (*Counting)(nil)
+	_ BulkTransmitter = (*BSC)(nil)
+	_ BulkTransmitter = Noiseless{}
+	_ BulkTransmitter = (*Counting)(nil)
+	_ UniformNoise    = (*BSC)(nil)
+	_ UniformNoise    = Noiseless{}
 )

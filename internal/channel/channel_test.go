@@ -203,3 +203,107 @@ func TestQuickTransmitValidBit(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TransmitBulk for the BSC must reproduce the per-bit Transmit decision
+// draw for draw: both reduce Bernoulli(p) to the same integer threshold
+// comparison, so identical RNG streams give identical outputs.
+func TestBSCTransmitBulkMatchesPerBit(t *testing.T) {
+	c := NewBSC(0.23)
+	r1 := rng.New(99)
+	r2 := rng.New(99)
+	bits := make([]Bit, 4096)
+	want := make([]Bit, 4096)
+	for i := range bits {
+		b := Bit(i & 1)
+		bits[i] = b
+		want[i] = c.Transmit(b, r1)
+	}
+	c.TransmitBulk(bits, r2)
+	for i := range bits {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d: bulk %v != per-bit %v", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestNoiselessTransmitBulkIsIdentity(t *testing.T) {
+	r := rng.New(1)
+	bits := []Bit{Zero, One, One, Zero}
+	Noiseless{}.TransmitBulk(bits, r)
+	if bits[0] != Zero || bits[1] != One || bits[2] != One || bits[3] != Zero {
+		t.Fatalf("noiseless bulk mutated bits: %v", bits)
+	}
+	// And it must consume no randomness.
+	a, b := rng.New(5), rng.New(5)
+	Noiseless{}.TransmitBulk(bits, a)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("noiseless bulk consumed randomness")
+	}
+}
+
+func TestCountingTransmitBulkCounts(t *testing.T) {
+	c := NewCounting(NewBSC(0.3))
+	r := rng.New(7)
+	bits := make([]Bit, 1000)
+	c.TransmitBulk(bits, r)
+	if c.Transmitted() != 1000 {
+		t.Fatalf("transmitted = %d", c.Transmitted())
+	}
+	if rate := c.ObservedFlipRate(); rate < 0.2 || rate > 0.4 {
+		t.Fatalf("observed flip rate %v far from 0.3", rate)
+	}
+}
+
+func TestTransmitAllFallback(t *testing.T) {
+	// Heterogeneous lacks TransmitBulk; TransmitAll must fall back to the
+	// per-bit path and still apply noise.
+	c := NewHeterogeneous(0.3, 0.4)
+	r := rng.New(11)
+	bits := make([]Bit, 2000)
+	for i := range bits {
+		bits[i] = One
+	}
+	TransmitAll(c, bits, r)
+	flipped := 0
+	for _, b := range bits {
+		if b == Zero {
+			flipped++
+		}
+	}
+	if flipped < 500 || flipped > 900 {
+		t.Fatalf("heterogeneous fallback flipped %d of 2000, want about 700", flipped)
+	}
+}
+
+func TestUniformNoiseCapability(t *testing.T) {
+	if p := interface{}(NewBSC(0.17)).(UniformNoise).UniformFlipProb(); p != 0.17 {
+		t.Fatalf("BSC uniform flip prob %v", p)
+	}
+	if p := interface{}(Noiseless{}).(UniformNoise).UniformFlipProb(); p != 0 {
+		t.Fatalf("noiseless uniform flip prob %v", p)
+	}
+	if _, ok := interface{}(NewHeterogeneous(0, 0.4)).(UniformNoise); ok {
+		t.Fatal("heterogeneous must not claim uniform noise")
+	}
+	if _, ok := interface{}(NewCounting(NewBSC(0.1))).(UniformNoise); ok {
+		t.Fatal("counting must not claim uniform noise (it would bypass its accounting)")
+	}
+}
+
+func TestFlipThreshold53(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0, 0},
+		{-1, 0},
+		{1, 1 << 53},
+		{2, 1 << 53},
+		{0.5, 1 << 52},
+	}
+	for _, c := range cases {
+		if got := FlipThreshold53(c.p); got != c.want {
+			t.Errorf("FlipThreshold53(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}

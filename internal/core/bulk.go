@@ -1,0 +1,84 @@
+package core
+
+import "breathe/internal/channel"
+
+// Batched-kernel support (sim.BulkProtocol). The protocol's sender set is
+// a pure function of (activated, level, hasOpinion, opinion), all of which
+// change only at phase boundaries — "breathe before speaking" means an
+// agent contacted during a phase stays silent until a later phase, and
+// opinions update in EndRound of a phase's last round. BulkSenders
+// therefore rebuilds the sender lists once per phase and serves the cached
+// slices for every round inside it.
+//
+// The one exception is the NoBreathe ablation, whose agents start
+// forwarding in the round after their activation; BulkEnabled reports
+// false for it and the engine keeps the per-agent path.
+
+// BulkEnabled implements sim.BulkProtocol.
+func (p *Protocol) BulkEnabled() bool { return !p.variant.NoBreathe }
+
+// BulkSenders implements sim.BulkProtocol: the agents transmitting in
+// round, grouped by the bit they send (their current opinion).
+func (p *Protocol) BulkSenders(round int) (zeros, ones []int32) {
+	p.ensurePhase(round)
+	if !p.curOK {
+		return nil, nil
+	}
+	if !p.sendersValid || p.sendersRef != p.curRef {
+		p.rebuildSenders()
+	}
+	return p.sendZeros, p.sendOnes
+}
+
+// rebuildSenders scans the population once and caches the senders of the
+// current phase. Stage I: opinionated agents activated in an earlier
+// phase (level < phase index). Stage II: every opinionated agent.
+func (p *Protocol) rebuildSenders() {
+	if p.sendZeros == nil {
+		p.sendZeros = make([]int32, 0, p.n)
+		p.sendOnes = make([]int32, 0, p.n)
+	}
+	p.sendZeros = p.sendZeros[:0]
+	p.sendOnes = p.sendOnes[:0]
+	stageI := p.curRef.Stage == StageI
+	idx := int32(p.curRef.Index)
+	for a := 0; a < p.n; a++ {
+		if !p.hasOpinion[a] {
+			continue
+		}
+		if stageI && !(p.level[a] < idx) {
+			continue
+		}
+		if p.opinion[a] == channel.Zero {
+			p.sendZeros = append(p.sendZeros, int32(a))
+		} else {
+			p.sendOnes = append(p.sendOnes, int32(a))
+		}
+	}
+	p.sendersRef = p.curRef
+	p.sendersValid = true
+}
+
+// BulkDeliver implements sim.BulkProtocol: one receiveOne per accepted
+// delivery, with the phase lookup hoisted out of the loop.
+func (p *Protocol) BulkDeliver(receivers []int32, bits []channel.Bit, round int) {
+	p.ensurePhase(round)
+	if !p.curOK {
+		return
+	}
+	for i, a := range receivers {
+		p.receiveOne(int(a), bits[i])
+	}
+}
+
+// BulkAccumulate implements sim.BulkProtocol. In Stage II (except the
+// PrefixSubset ablation, which caps the ones counter mid-phase) reception
+// is pure counting: acc[a] += bit<<32 | 1, exactly what the engine's dense
+// kernel performs on the BulkAccumulators array.
+func (p *Protocol) BulkAccumulate(round int) bool {
+	p.ensurePhase(round)
+	return p.curOK && p.curRef.Stage == StageII && !p.variant.PrefixSubset
+}
+
+// BulkAccumulators implements sim.BulkProtocol.
+func (p *Protocol) BulkAccumulators() []uint64 { return p.acc }

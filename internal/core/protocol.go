@@ -37,8 +37,18 @@ type Protocol struct {
 	level      []int32 // Stage I phase in which the agent was activated
 	opinion    []channel.Bit
 	hasOpinion []bool
-	ones       []int32 // per-phase received-ones counter
-	total      []int32 // per-phase received-messages counter
+	// acc packs the per-phase reception counters of each agent as
+	// ones<<32 | total. The single-word layout is shared with the batched
+	// kernel's accumulator delivery (sim.BulkProtocol), which adds
+	// bit<<32 | 1 per accepted message exactly like receiveOne does.
+	acc []uint64
+
+	// Sender cache for the batched kernel: the sender set and the bits
+	// sent are constant within a phase (opinions change only at phase
+	// boundaries), so BulkSenders rebuilds these slices once per phase.
+	sendZeros, sendOnes []int32
+	sendersRef          PhaseRef
+	sendersValid        bool
 
 	// Cached phase lookup for the round currently executing.
 	curRound int
@@ -139,8 +149,9 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 	p.level = make([]int32, n)
 	p.opinion = make([]channel.Bit, n)
 	p.hasOpinion = make([]bool, n)
-	p.ones = make([]int32, n)
-	p.total = make([]int32, n)
+	p.acc = make([]uint64, n)
+	p.sendZeros, p.sendOnes = nil, nil
+	p.sendersValid = false
 	p.curRound = -1
 
 	pre := p.preActivatedLevel()
@@ -195,14 +206,18 @@ func (p *Protocol) Receive(a int, bit channel.Bit, round int) {
 	if !p.curOK {
 		return
 	}
+	p.receiveOne(a, bit)
+}
+
+// receiveOne applies one accepted delivery for the cached phase.
+func (p *Protocol) receiveOne(a int, bit channel.Bit) {
 	switch p.curRef.Stage {
 	case StageI:
 		cur := int32(p.curRef.Index)
 		if !p.activated[a] {
 			p.activated[a] = true
 			p.level[a] = cur
-			p.ones[a] = int32(bit)
-			p.total[a] = 1
+			p.acc[a] = uint64(bit)<<32 | 1
 			if p.variant.NoBreathe {
 				// Ablation: adopt the first message immediately and start
 				// forwarding from the next round.
@@ -214,24 +229,25 @@ func (p *Protocol) Receive(a int, bit channel.Bit, round int) {
 		if p.level[a] == cur && !p.hasOpinion[a] && !p.variant.FirstMessage {
 			// Collecting messages during its activation phase. The
 			// FirstMessage variant keeps only the activating message.
-			p.ones[a] += int32(bit)
-			p.total[a]++
+			p.acc[a] += uint64(bit)<<32 + 1
 		}
 		// Already-opinionated agents ignore Stage I receptions.
 	case StageII:
 		if p.variant.PrefixSubset {
 			// Remark 2.10 alternative: only the first g samples form the
 			// majority subset; later ones still count toward success.
-			if int(p.total[a]) < p.subsetSize() {
-				p.ones[a] += int32(bit)
+			if int(p.acc[a]&accTotalMask) < p.subsetSize() {
+				p.acc[a] += uint64(bit) << 32
 			}
-			p.total[a]++
+			p.acc[a]++
 			return
 		}
-		p.ones[a] += int32(bit)
-		p.total[a]++
+		p.acc[a] += uint64(bit)<<32 + 1
 	}
 }
+
+// accTotalMask extracts the received-messages counter from an acc word.
+const accTotalMask = 1<<32 - 1
 
 // EndRound implements sim.Protocol: opinion updates happen only at phase
 // boundaries.
@@ -240,6 +256,7 @@ func (p *Protocol) EndRound(round int) {
 	if !p.curOK || !p.curLast {
 		return
 	}
+	p.sendersValid = false // sender set may change at the phase boundary
 	switch p.curRef.Stage {
 	case StageI:
 		p.endStageIPhase(round)
@@ -265,7 +282,7 @@ func (p *Protocol) endStageIPhase(round int) {
 		}
 		if !p.hasOpinion[a] {
 			var bit channel.Bit
-			if p.rng.Uint64n(uint64(p.total[a])) < uint64(p.ones[a]) {
+			if p.rng.Uint64n(p.acc[a]&accTotalMask) < p.acc[a]>>32 {
 				bit = channel.One
 			} else {
 				bit = channel.Zero
@@ -279,7 +296,7 @@ func (p *Protocol) endStageIPhase(round int) {
 		if p.opinion[a] == p.target {
 			correct++
 		}
-		p.ones[a], p.total[a] = 0, 0
+		p.acc[a] = 0
 	}
 	cum := 0
 	if k := len(p.telem.StageI); k > 0 {
@@ -301,7 +318,7 @@ func (p *Protocol) endStageIPhase(round int) {
 func (p *Protocol) finishStageI() {
 	holding, correct := 0, 0
 	for a := 0; a < p.n; a++ {
-		p.ones[a], p.total[a] = 0, 0
+		p.acc[a] = 0
 		if p.hasOpinion[a] {
 			holding++
 			if p.opinion[a] == p.target {
@@ -331,28 +348,30 @@ func (p *Protocol) endStageIIPhase(round int) {
 	g := p.subsetSize()
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
-		if int(p.total[a]) >= g {
+		total := int(p.acc[a] & accTotalMask)
+		ones := int(p.acc[a] >> 32)
+		if total >= g {
 			successful++
 			switch {
 			case p.variant.PrefixSubset:
 				// ones already holds the first-g prefix count.
-				if 2*int(p.ones[a]) > g {
+				if 2*ones > g {
 					p.opinion[a] = channel.One
 				} else {
 					p.opinion[a] = channel.Zero
 				}
 			case p.variant.FullSampleMajority:
-				twice := 2 * int(p.ones[a])
+				twice := 2 * ones
 				switch {
-				case twice > int(p.total[a]):
+				case twice > total:
 					p.opinion[a] = channel.One
-				case twice < int(p.total[a]):
+				case twice < total:
 					p.opinion[a] = channel.Zero
 				default: // exact tie over all samples
 					p.opinion[a] = channel.Bit(p.rng.Uint64() & 1)
 				}
 			default:
-				onesSub := p.rng.Hypergeometric(int(p.total[a]), int(p.ones[a]), g)
+				onesSub := p.rng.Hypergeometric(total, ones, g)
 				if 2*onesSub > g {
 					p.opinion[a] = channel.One
 				} else {
@@ -361,7 +380,7 @@ func (p *Protocol) endStageIIPhase(round int) {
 			}
 			p.hasOpinion[a] = true
 		}
-		p.ones[a], p.total[a] = 0, 0
+		p.acc[a] = 0
 		if p.hasOpinion[a] && p.opinion[a] == p.target {
 			correct++
 		}

@@ -160,6 +160,13 @@ func (r *RNG) Hypergeometric(popSize, successes, draws int) int {
 	got := 0
 	remainingPop := popSize
 	remainingSucc := successes
+	// The walk below consumes exactly the draws that calling
+	// Uint64n(remainingPop) per step would — same Lemire multiply-shift,
+	// same rejection rule — but holds the generator state in registers
+	// for the whole walk. Stage II of the protocol invokes this sampler
+	// once per successful agent per phase, which makes it a measurable
+	// share of full runs at n = 10⁶.
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
 	for i := 0; i < draws; i++ {
 		if remainingSucc == 0 {
 			break
@@ -168,12 +175,37 @@ func (r *RNG) Hypergeometric(popSize, successes, draws int) int {
 			got += draws - i
 			break
 		}
-		if r.Uint64n(uint64(remainingPop)) < uint64(remainingSucc) {
+		n := uint64(remainingPop)
+		x := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		hi, lo := mul64(x, n)
+		if lo < n {
+			thresh := -n % n
+			for lo < thresh {
+				x = rotl(s1*5, 7) * 9
+				t = s1 << 17
+				s2 ^= s0
+				s3 ^= s1
+				s1 ^= s2
+				s0 ^= s3
+				s2 ^= t
+				s3 = rotl(s3, 45)
+				hi, lo = mul64(x, n)
+			}
+		}
+		if hi < uint64(remainingSucc) {
 			got++
 			remainingSucc--
 		}
 		remainingPop--
 	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 	return got
 }
 

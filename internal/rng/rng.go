@@ -66,6 +66,26 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+// Fill writes len(buf) consecutive draws of the stream into buf,
+// advancing the generator exactly as len(buf) Uint64 calls would. The
+// state stays in registers for the whole batch, which makes bulk
+// consumers (the simulator's batched kernel) measurably faster than one
+// method call per draw.
+func (r *RNG) Fill(buf []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range buf {
+		buf[i] = rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // Uint64n returns a uniform integer in [0, n) using Lemire's unbiased
 // multiply-shift rejection method. n must be positive.
 func (r *RNG) Uint64n(n uint64) uint64 {
@@ -106,6 +126,25 @@ func (r *RNG) Intn(n int) int {
 		panic("rng: Intn with n <= 0")
 	}
 	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint32n returns a uniform uint32 in [0, n) using the 32-bit variant of
+// Lemire's multiply-shift rejection method. It consumes one 64-bit draw
+// per attempt (rejections are rare, at most n/2³²) and is measurably
+// cheaper than Uint64n on the simulator's batched hot paths, where the
+// recipient range always fits in 32 bits. n must be positive.
+func (r *RNG) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n with n == 0")
+	}
+	m := uint64(uint32(r.Uint64())) * uint64(n)
+	if uint32(m) < n {
+		thresh := -n % n
+		for uint32(m) < thresh {
+			m = uint64(uint32(r.Uint64())) * uint64(n)
+		}
+	}
+	return uint32(m >> 32)
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.

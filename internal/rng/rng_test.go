@@ -566,3 +566,103 @@ func BenchmarkHypergeometric(b *testing.B) {
 		_ = r.Hypergeometric(200, 90, 51)
 	}
 }
+
+func TestUint32nDeterministicAndInRange(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 10000; i++ {
+		n := uint32(i%997 + 1)
+		if v := r.Uint32n(n); v >= n {
+			t.Fatalf("Uint32n(%d) = %d out of range", n, v)
+		}
+	}
+	a, b := New(9), New(9)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32n(1000) != b.Uint32n(1000) {
+			t.Fatalf("Uint32n not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestUint32nUniform(t *testing.T) {
+	// Chi-squared-style sanity bound over 16 cells.
+	const cells, draws = 16, 1 << 18
+	r := New(77)
+	var counts [cells]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint32n(cells)]++
+	}
+	want := float64(draws) / cells
+	for c, got := range counts {
+		if math.Abs(float64(got)-want) > 6*math.Sqrt(want) {
+			t.Errorf("cell %d: %d draws, want about %.0f", c, got, want)
+		}
+	}
+}
+
+func TestUint32nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint32n(0) did not panic")
+		}
+	}()
+	New(1).Uint32n(0)
+}
+
+func TestHypergeometricConsumptionUnchanged(t *testing.T) {
+	// The register-state walk must be draw-for-draw identical to calling
+	// Uint64n(remainingPop) per step: same values AND same stream
+	// consumption, checked by comparing against a reference walk.
+	var ref func(r *RNG, popSize, successes, draws int) int
+	ref = func(r *RNG, popSize, successes, draws int) int {
+		if draws > popSize/2 {
+			return successes - ref(r, popSize, successes, popSize-draws)
+		}
+		got := 0
+		remainingPop := popSize
+		remainingSucc := successes
+		for i := 0; i < draws; i++ {
+			if remainingSucc == 0 {
+				break
+			}
+			if remainingSucc == remainingPop {
+				got += draws - i
+				break
+			}
+			if r.Uint64n(uint64(remainingPop)) < uint64(remainingSucc) {
+				got++
+				remainingSucc--
+			}
+			remainingPop--
+		}
+		return got
+	}
+	a, b := New(314), New(314)
+	for i := 0; i < 2000; i++ {
+		pop := i%97 + 2
+		succ := i % (pop + 1)
+		draws := i % (pop + 1)
+		if got, want := a.Hypergeometric(pop, succ, draws), ref(b, pop, succ, draws); got != want {
+			t.Fatalf("case %d: Hypergeometric(%d,%d,%d) = %d, reference %d", i, pop, succ, draws, got, want)
+		}
+	}
+	// Streams must remain in lockstep after all calls.
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("stream consumption diverged from reference")
+		}
+	}
+}
+
+func TestFillMatchesUint64(t *testing.T) {
+	a, b := New(55), New(55)
+	buf := make([]uint64, 257)
+	a.Fill(buf)
+	for i, x := range buf {
+		if w := b.Uint64(); x != w {
+			t.Fatalf("Fill[%d] = %#x, Uint64 sequence gives %#x", i, x, w)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fill advanced the state incorrectly")
+	}
+}

@@ -1,0 +1,512 @@
+package sim
+
+// The batched round kernel. The per-agent path in sim.go is the executable
+// definition of the Flip model: one Send call per agent per round, a
+// reservoir draw per colliding message, one Transmit per accepted message.
+// That costs Θ(n) interface dispatches per round even in the protocol's
+// quiescent "breathe" phases and caps practical population sizes well
+// below 10⁶. The batched kernel removes the per-agent work while sampling
+// from exactly the same distribution:
+//
+//   - Protocols that implement BulkProtocol report their active-sender set
+//     once per round (cached per phase on the protocol side), so rounds
+//     cost O(messages), not O(n).
+//   - Collision resolution is count-based: a receiver hit by c messages of
+//     which k are ones accepts a one with probability k/c — identical in
+//     law to reservoir-sampling one arrival uniformly.
+//   - Noise is applied in bulk (channel.BulkTransmitter) or, on the dense
+//     path, co-sampled with collision resolution from one integer draw.
+//   - When Config.AllowSelfMessages makes messages exchangeable, the dense
+//     path replaces per-message recipient draws with an exact sequential
+//     multinomial over cache-sized receiver buckets (a binomial draw per
+//     bucket) followed by in-bucket placement from masked bits, and
+//     delivers into protocol-owned accumulators with a branchless scan.
+//
+// Every shortcut is exact in law; bulk_test.go and internal/core's
+// equivalence tests check both paths against each other statistically, and
+// the per-agent path remains available via Config.Kernel.
+
+import (
+	"fmt"
+
+	"breathe/internal/channel"
+)
+
+// BulkProtocol is an optional extension of Protocol enabling the batched
+// kernel. Implementations must behave identically (in law) under per-agent
+// and batched execution; the engine chooses the path.
+type BulkProtocol interface {
+	Protocol
+
+	// BulkEnabled reports whether the batched kernel may be used for this
+	// instance (called once per run, after Setup). Protocols whose sender
+	// set can change mid-phase (e.g. ablated variants) return false.
+	BulkEnabled() bool
+
+	// BulkSenders returns the agents that transmit in round, grouped by
+	// the bit they send. The slices are owned by the protocol and valid
+	// until the next BulkSenders call; the engine does not mutate them.
+	BulkSenders(round int) (zeros, ones []int32)
+
+	// BulkDeliver notifies the protocol of all accepted deliveries of the
+	// round: receivers[i] accepted bits[i]. Equivalent to one Receive call
+	// per element, in order.
+	BulkDeliver(receivers []int32, bits []channel.Bit, round int)
+
+	// BulkAccumulate reports whether, in the given round, a delivery is
+	// equivalent to acc[receiver] += bit<<32 | 1 on the array returned by
+	// BulkAccumulators — i.e. reception is pure counting with no
+	// per-message side effects. The dense kernel requires it.
+	BulkAccumulate(round int) bool
+
+	// BulkAccumulators exposes the per-agent packed reception counters
+	// (ones in the high 32 bits, total in the low 32). May return nil if
+	// the protocol does not support accumulator delivery; the engine then
+	// always delivers through BulkDeliver.
+	BulkAccumulators() []uint64
+}
+
+const (
+	// maxBulkN bounds the population the packed per-message inbox can
+	// represent (24-bit arrival counters). Beyond it the engine falls
+	// back to the per-agent path.
+	maxBulkN = 1 << 24
+	// denseMinMessages gates the dense kernel: below it the per-message
+	// path is at least as fast and the per-bucket sampling overhead is
+	// not worth amortizing.
+	denseMinMessages = 256
+	// denseShift sets the dense receiver-bucket width (8192 slots ×
+	// 4 bytes = one L1-sized inbox slice per bucket).
+	denseShift = 13
+	denseWidth = 1 << denseShift
+)
+
+// bulkState holds the batched kernel's reusable buffers. It is allocated
+// lazily on the first batched run of an engine and survives Reset.
+type bulkState struct {
+	// Per-message path: packed inbox stamp(16)|ones(24)|count(24).
+	pmStamp uint64
+	pmInbox []uint64
+	touched []int32
+	accR    []int32
+	accB    []channel.Bit
+
+	// Dense path: packed inbox stamp(8)|ones(12)|count(12).
+	dStamp   uint32
+	dInbox   []uint32
+	drawBuf  []uint64
+	spill    []denseSpill
+	deferred []int32
+
+	// Per-run capabilities, refreshed by selectKernel.
+	accs        []uint64
+	noiseThresh uint64
+	denseOK     bool
+}
+
+// denseSpill records arrivals beyond the packed 12-bit counter of a dense
+// inbox slot — unreachable in practice (arrivals per slot are ≈Poisson(1))
+// but required for exactness.
+type denseSpill struct {
+	slot        int32
+	count, ones uint32
+}
+
+func (b *bulkState) reset() {
+	b.pmStamp = 0
+	for i := range b.pmInbox {
+		b.pmInbox[i] = 0
+	}
+	b.dStamp = 0
+	for i := range b.dInbox {
+		b.dInbox[i] = 0
+	}
+	b.spill = b.spill[:0]
+	b.deferred = b.deferred[:0]
+}
+
+// selectKernel decides the execution path for this run and prepares the
+// bulk state. Called once per Run, after protocol Setup.
+func (e *Engine) selectKernel(p Protocol) (BulkProtocol, bool) {
+	bp, ok := p.(BulkProtocol)
+	capable := ok && bp.BulkEnabled() && e.cfg.Failures == nil && e.cfg.N < maxBulkN
+	switch e.cfg.Kernel {
+	case KernelPerAgent:
+		return nil, false
+	case KernelBatched:
+		if !capable {
+			panic(fmt.Sprintf("sim: KernelBatched requires a bulk-capable protocol and config (protocol %q, bulk=%v, failures=%v, n=%d)",
+				p.Name(), ok, e.cfg.Failures != nil, e.cfg.N))
+		}
+	default:
+		if !capable {
+			return nil, false
+		}
+	}
+	if e.bulk == nil {
+		e.bulk = &bulkState{}
+	}
+	b := e.bulk
+	b.accs = bp.BulkAccumulators()
+	un, uniform := e.cfg.Channel.(channel.UniformNoise)
+	if uniform {
+		b.noiseThresh = channel.FlipThreshold53(un.UniformFlipProb())
+	}
+	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil
+	return bp, true
+}
+
+// stepBulk runs one round through the batched kernel.
+func (e *Engine) stepBulk(bp BulkProtocol) {
+	round := e.round
+	zeros, ones := bp.BulkSenders(round)
+	m := len(zeros) + len(ones)
+	e.sent += int64(m)
+	if m > 0 {
+		if e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round) {
+			e.stepDense(len(zeros), len(ones))
+		} else {
+			e.stepPerMessage(bp, zeros, ones, round)
+		}
+	}
+	bp.EndRound(round)
+}
+
+// stepPerMessage is the batched per-message path: exact for every Config
+// (self-message exclusion, drops, any channel) and every BulkProtocol
+// round. It differs from the per-agent path only in skipping non-senders
+// and batching noise and delivery.
+func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int) {
+	b := e.bulk
+	if b.pmInbox == nil {
+		b.pmInbox = make([]uint64, e.cfg.N)
+		b.touched = make([]int32, 0, e.cfg.N)
+	}
+	b.pmStamp++
+	if b.pmStamp == 1<<16 {
+		for i := range b.pmInbox {
+			b.pmInbox[i] = 0
+		}
+		b.pmStamp = 1
+	}
+	stamp := b.pmStamp << 48
+	b.touched = b.touched[:0]
+
+	n := uint32(e.cfg.N)
+	r := e.engineRNG
+	drop := e.cfg.DropProb
+	self := e.cfg.AllowSelfMessages
+	throw := func(senders []int32, inc uint64) {
+		for _, s := range senders {
+			if drop > 0 && r.Bernoulli(drop) {
+				e.dropped++
+				continue
+			}
+			var dst uint32
+			if self {
+				dst = r.Uint32n(n)
+			} else {
+				dst = r.Uint32n(n - 1)
+				if dst >= uint32(s) {
+					dst++
+				}
+			}
+			v := b.pmInbox[dst]
+			if v>>48 != b.pmStamp {
+				b.pmInbox[dst] = stamp | inc
+				b.touched = append(b.touched, int32(dst))
+			} else {
+				b.pmInbox[dst] = v + inc
+			}
+		}
+	}
+	throw(zeros, 1)
+	throw(ones, 1<<24|1)
+
+	// Resolve collisions: accept a one with probability ones/count. The
+	// draw happens on every collision, mixed bits or not, so the engine
+	// stream consumption depends only on the message pattern, never on
+	// bit values — matching the per-agent path's invariant that protocols
+	// with identical send patterns see identical engine randomness.
+	b.accR = b.accR[:0]
+	b.accB = b.accB[:0]
+	for _, dst := range b.touched {
+		v := b.pmInbox[dst]
+		cnt := v & 0xffffff
+		on := v >> 24 & 0xffffff
+		e.accepted++
+		e.dropped += int64(cnt - 1)
+		var bit channel.Bit
+		if cnt == 1 {
+			bit = channel.Bit(on)
+		} else if r.Uint64n(cnt) < on {
+			bit = 1
+		}
+		b.accR = append(b.accR, dst)
+		b.accB = append(b.accB, bit)
+	}
+	channel.TransmitAll(e.cfg.Channel, b.accB, e.channelRNG)
+	bp.BulkDeliver(b.accR, b.accB, round)
+}
+
+// stepDense is the aggregate kernel for exchangeable messages
+// (AllowSelfMessages, uniform noise, accumulator delivery). Recipient
+// sampling collapses to an exact sequential multinomial: one binomial draw
+// per bit class per 8192-slot receiver bucket, then in-bucket placement
+// from masked 16-bit lanes of single 64-bit draws. Collision resolution
+// and noise are co-sampled from one draw per slot in a branchless scan
+// that writes straight into the protocol's accumulators. Everything is
+// exact in law; only the engine-stream draw schedule differs from the
+// other paths.
+func (e *Engine) stepDense(m0, m1 int) {
+	b := e.bulk
+	n := e.cfg.N
+	if b.dInbox == nil {
+		b.dInbox = make([]uint32, n)
+	}
+	b.dStamp++
+	if b.dStamp == 1<<8 {
+		for i := range b.dInbox {
+			b.dInbox[i] = 0
+		}
+		b.dStamp = 1
+	}
+	b.spill = b.spill[:0]
+	b.deferred = b.deferred[:0]
+
+	r := e.engineRNG
+	if q := e.cfg.DropProb; q > 0 {
+		d0 := r.Binomial(m0, q)
+		d1 := r.Binomial(m1, q)
+		e.dropped += int64(d0 + d1)
+		m0 -= d0
+		m1 -= d1
+	}
+	placed := m0 + m1
+
+	stamp := b.dStamp
+	thresh := b.noiseThresh
+	acc := b.accs
+	var acceptedSum int64
+
+	rem0, rem1 := m0, m1
+	slotsLeft := n
+	for lo := 0; lo < n; lo += denseWidth {
+		size := denseWidth
+		if lo+size > n {
+			size = n - lo
+		}
+		var k0, k1 int
+		if size == slotsLeft {
+			k0, k1 = rem0, rem1
+		} else {
+			pb := float64(size) / float64(slotsLeft)
+			k0 = r.Binomial(rem0, pb)
+			k1 = r.Binomial(rem1, pb)
+		}
+		rem0 -= k0
+		rem1 -= k1
+		slotsLeft -= size
+
+		// Pre-fill one batch of raw draws for the bucket — placement
+		// lanes first, then one draw per slot for the resolve scan — so
+		// the generator state stays in registers (rng.Fill) instead of
+		// paying a call per draw.
+		pow2 := size&(size-1) == 0
+		nd0, nd1 := 0, 0
+		if pow2 {
+			nd0, nd1 = (k0+3)/4, (k1+3)/4
+		}
+		need := nd0 + nd1 + size
+		if cap(b.drawBuf) < need {
+			b.drawBuf = make([]uint64, need+denseWidth)
+		}
+		buf := b.drawBuf[:need]
+		r.Fill(buf)
+
+		inbox := b.dInbox[lo : lo+size : lo+size]
+		if pow2 {
+			e.densePlacePow2(lo, inbox, k0, 1, buf[:nd0])
+			e.densePlacePow2(lo, inbox, k1, 1<<12|1, buf[nd0:nd0+nd1])
+		} else {
+			e.densePlaceAny(lo, size, k0, 1)
+			e.densePlaceAny(lo, size, k1, 1<<12|1)
+		}
+
+		// Branchless resolve: one pre-drawn word per slot regardless of
+		// occupancy, so the scan never stalls on data-dependent branches.
+		// Low 11 bits drive the accept-one draw (Lemire multiply-shift
+		// with its rare rejection handled out of line): its value is
+		// uniform on [0, cnt), so "value < ones" accepts a one with
+		// probability exactly ones/cnt — covering the unanimous cases
+		// too. The top 53 bits are the exact integer form of the
+		// channel's Bernoulli flip.
+		rbuf := buf[nd0+nd1:]
+		rbuf = rbuf[:len(inbox)]
+		accSlice := acc[lo : lo+size : lo+size]
+		for i := range inbox {
+			v := inbox[i]
+			occ := uint64(0)
+			if v>>24 == stamp {
+				occ = 1
+			}
+			cnt := uint64(v & 0xfff)
+			on := uint64(v >> 12 & 0xfff)
+			if cnt >= 2048 && occ == 1 {
+				// Beyond the 11-bit Lemire range (and, at 0xfff, into the
+				// spill list): resolve with full-width arithmetic instead.
+				b.deferred = append(b.deferred, int32(lo+i))
+				continue
+			}
+			x := rbuf[i]
+			prod := (x & 2047) * cnt
+			if prod&2047 < cnt && occ == 1 && on != 0 && on != cnt {
+				// Possible Lemire rejection (probability < cnt/2048):
+				// apply the full rejection rule to this draw, redrawing
+				// only if it genuinely fails.
+				x, prod = e.denseRedraw(x, prod, cnt)
+			}
+			bit := uint64(0)
+			if prod>>11 < on {
+				bit = 1
+			}
+			if x>>11 < thresh {
+				bit ^= 1
+			}
+			accSlice[i] += (bit<<32 | 1) * occ
+			acceptedSum += int64(occ)
+		}
+	}
+
+	for _, slot := range b.deferred {
+		e.denseResolveDeferred(slot)
+		acceptedSum++
+	}
+	// Collision losses in aggregate: every placed message that was not the
+	// accepted one of its slot.
+	e.accepted += acceptedSum
+	e.dropped += int64(placed) - acceptedSum
+}
+
+// densePlacePow2 throws k messages of one bit uniformly into the
+// power-of-two-sized slot range starting at lo, consuming four placements
+// per pre-drawn 64-bit word via masked 16-bit lanes. The stamp update is
+// branchless (the first-arrival branch would mispredict at typical
+// occupancies); the saturation branch is never taken in practice and
+// predicts perfectly.
+func (e *Engine) densePlacePow2(lo int, inbox []uint32, k int, inc uint32, draws []uint64) {
+	stamp := e.bulk.dStamp
+	st := stamp << 24
+	i := 0
+	for _, x := range draws {
+		lanes := 4
+		if k-i < 4 {
+			lanes = k - i
+		}
+		for lane := 0; lane < lanes; lane++ {
+			slot := int(x) & (len(inbox) - 1)
+			x >>= 16
+			v := inbox[slot]
+			m := uint32(0)
+			if v>>24 == stamp {
+				m = ^uint32(0)
+			}
+			nv := (v&m | st&^m) + inc
+			if nv&0xfff == 0 {
+				// 12-bit arrival counter saturated: freeze the packed
+				// entry and divert the arrival to the exact spill list.
+				nv -= inc
+				e.denseSpillAdd(int32(lo+slot), inc>>12)
+			}
+			inbox[slot] = nv
+		}
+		i += lanes
+	}
+}
+
+// densePlaceAny is the general-size placement (the population's tail
+// bucket): one unbiased draw per placement.
+func (e *Engine) densePlaceAny(lo, size, k int, inc uint32) {
+	b := e.bulk
+	r := e.engineRNG
+	stamp := b.dStamp
+	st := stamp << 24
+	inbox := b.dInbox[lo : lo+size : lo+size]
+	for i := 0; i < k; i++ {
+		slot := int(r.Uint32n(uint32(size)))
+		v := inbox[slot]
+		m := uint32(0)
+		if v>>24 == stamp {
+			m = ^uint32(0)
+		}
+		nv := (v&m | st&^m) + inc
+		if nv&0xfff == 0 {
+			nv -= inc
+			e.denseSpillAdd(int32(lo+slot), inc>>12)
+		}
+		inbox[slot] = nv
+	}
+}
+
+// denseRedraw completes the Lemire rejection rule for a collided slot's
+// accept-one draw: value (u·cnt)>>11 is kept only when the low bits of the
+// product clear 2¹¹ mod cnt, which makes the result exactly uniform over
+// [0, cnt). The caller's draw is tested first — discarding it when it is
+// in fact acceptable would leave exactly the bias of an unrejected
+// multiply-shift — and fresh draws are taken only on genuine rejection.
+// Returns the final raw draw (whose top 53 bits feed the noise flip) and
+// product.
+func (e *Engine) denseRedraw(x, prod, cnt uint64) (uint64, uint64) {
+	r := e.engineRNG
+	reject := 2048 % cnt
+	for prod&2047 < reject {
+		x = r.Uint64()
+		prod = (x & 2047) * cnt
+	}
+	return x, prod
+}
+
+func (e *Engine) denseSpillAdd(slot int32, bit uint32) {
+	b := e.bulk
+	for i := range b.spill {
+		if b.spill[i].slot == slot {
+			b.spill[i].count++
+			b.spill[i].ones += bit
+			return
+		}
+	}
+	b.spill = append(b.spill, denseSpill{slot: slot, count: 1, ones: bit})
+}
+
+// denseResolveDeferred handles a slot whose arrival count outgrew the
+// 11-bit Lemire accept draw (cnt ≥ 2048) or saturated the packed counter
+// entirely (cnt == 0xfff, with the overflow in the spill list): merge the
+// packed prefix with any spill tail and resolve with full-width
+// arithmetic.
+func (e *Engine) denseResolveDeferred(slot int32) {
+	b := e.bulk
+	v := b.dInbox[slot]
+	cnt := uint64(v & 0xfff)
+	on := uint64(v >> 12 & 0xfff)
+	for _, s := range b.spill {
+		if s.slot == slot {
+			cnt += uint64(s.count)
+			on += uint64(s.ones)
+		}
+	}
+	r := e.engineRNG
+	var bit uint64
+	switch {
+	case on == 0:
+	case on == cnt:
+		bit = 1
+	default:
+		if r.Uint64n(cnt) < on {
+			bit = 1
+		}
+	}
+	if r.Uint64()>>11 < b.noiseThresh {
+		bit ^= 1
+	}
+	b.accs[slot] += bit<<32 | 1
+}

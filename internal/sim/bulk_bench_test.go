@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"breathe/internal/channel"
+)
+
+// BenchmarkDenseRound measures the dense aggregate kernel on its design
+// workload: one million agents all sending every round (the shape of the
+// protocol's Stage II). The msgs/round metric is the per-round message
+// volume; ns/op divided by it gives the per-message cost.
+func BenchmarkDenseRound(b *testing.B) {
+	p := &bulkChatter{rounds: 1 << 30}
+	cfg := Config{
+		N: 1_000_000, Channel: channel.NewBSC(0.2), Seed: 1,
+		AllowSelfMessages: true, Kernel: KernelBatched, MaxRounds: 1 << 30,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.rounds = b.N
+	b.ResetTimer()
+	res := e.Run(p)
+	b.StopTimer()
+	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}
+
+// BenchmarkPerMessageRound measures the batched per-message path (exact
+// self-exclusion) on the same all-senders workload at a smaller scale.
+func BenchmarkPerMessageRound(b *testing.B) {
+	p := &bulkChatter{rounds: 1 << 30}
+	cfg := Config{
+		N: 100_000, Channel: channel.NewBSC(0.2), Seed: 1,
+		Kernel: KernelBatched, MaxRounds: 1 << 30,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.rounds = b.N
+	b.ResetTimer()
+	res := e.Run(p)
+	b.StopTimer()
+	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}
+
+// BenchmarkPerAgentRound measures the per-agent reference path on the same
+// workload for comparison.
+func BenchmarkPerAgentRound(b *testing.B) {
+	p := &bulkChatter{rounds: 1 << 30}
+	cfg := Config{
+		N: 100_000, Channel: channel.NewBSC(0.2), Seed: 1,
+		Kernel: KernelPerAgent, MaxRounds: 1 << 30,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.rounds = b.N
+	b.ResetTimer()
+	res := e.Run(p)
+	b.StopTimer()
+	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"breathe/internal/channel"
+	"breathe/internal/rng"
+)
+
+// bulkChatter is a bulk-capable engine-test protocol: every agent sends a
+// fixed bit (its parity) every round; accepted deliveries accumulate in
+// the packed counters and are never consumed, so the engine's two delivery
+// modes (BulkDeliver and direct accumulation) must produce the same
+// counters.
+type bulkChatter struct {
+	rounds int
+	n      int
+	acc    []uint64
+	zeros  []int32
+	ones   []int32
+}
+
+func (c *bulkChatter) Name() string { return "bulk-chatter" }
+func (c *bulkChatter) Setup(n int, _ *rng.RNG) {
+	c.n = n
+	c.acc = make([]uint64, n)
+	c.zeros = c.zeros[:0]
+	c.ones = c.ones[:0]
+	for a := 0; a < n; a++ {
+		if a%2 == 0 {
+			c.zeros = append(c.zeros, int32(a))
+		} else {
+			c.ones = append(c.ones, int32(a))
+		}
+	}
+}
+func (c *bulkChatter) Send(a, round int) (channel.Bit, bool) {
+	return channel.Bit(a % 2), true
+}
+func (c *bulkChatter) Receive(a int, b channel.Bit, round int) {
+	c.acc[a] += uint64(b)<<32 + 1
+}
+func (c *bulkChatter) EndRound(int)        {}
+func (c *bulkChatter) Done(round int) bool { return round >= c.rounds }
+func (c *bulkChatter) Opinion(a int) (channel.Bit, bool) {
+	total := c.acc[a] & (1<<32 - 1)
+	if total == 0 {
+		return 0, false
+	}
+	if 2*(c.acc[a]>>32) >= total {
+		return channel.One, true
+	}
+	return channel.Zero, true
+}
+
+func (c *bulkChatter) BulkEnabled() bool { return true }
+func (c *bulkChatter) BulkSenders(round int) ([]int32, []int32) {
+	return c.zeros, c.ones
+}
+func (c *bulkChatter) BulkDeliver(receivers []int32, bits []channel.Bit, round int) {
+	for i, a := range receivers {
+		c.acc[a] += uint64(bits[i])<<32 + 1
+	}
+}
+func (c *bulkChatter) BulkAccumulate(int) bool    { return true }
+func (c *bulkChatter) BulkAccumulators() []uint64 { return c.acc }
+
+func (c *bulkChatter) received(a int) uint64     { return c.acc[a] & (1<<32 - 1) }
+func (c *bulkChatter) receivedOnes(a int) uint64 { return c.acc[a] >> 32 }
+
+func TestRunTwicePanics(t *testing.T) {
+	e, err := NewEngine(Config{N: 16, Channel: channel.Noiseless{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(&chatter{rounds: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run without Reset did not panic")
+		}
+	}()
+	e.Run(&chatter{rounds: 3})
+}
+
+func TestResetMatchesFreshEngine(t *testing.T) {
+	cfg := Config{N: 64, Channel: channel.FromEpsilon(0.25), Seed: 1}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(&chatter{rounds: 25}) // dirty the engine with a first run
+	e.Reset(9)
+	reused := e.Run(&chatter{rounds: 25})
+
+	cfg.Seed = 9
+	fresh, err := Run(cfg, &chatter{rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != fresh {
+		t.Fatalf("Reset engine diverged from fresh engine:\n%+v\n%+v", reused, fresh)
+	}
+}
+
+func TestResetMatchesFreshEngineBatched(t *testing.T) {
+	cfg := Config{N: 300, Channel: channel.FromEpsilon(0.3), Seed: 2, AllowSelfMessages: true}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(&bulkChatter{rounds: 40})
+	e.Reset(11)
+	reused := e.Run(&bulkChatter{rounds: 40})
+
+	cfg.Seed = 11
+	fresh, err := Run(cfg, &bulkChatter{rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != fresh {
+		t.Fatalf("Reset engine diverged from fresh engine on the batched path:\n%+v\n%+v", reused, fresh)
+	}
+}
+
+func TestKernelBatchedPanicsWithoutBulkProtocol(t *testing.T) {
+	e, err := NewEngine(Config{N: 16, Channel: channel.Noiseless{}, Seed: 1, Kernel: KernelBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KernelBatched with a plain Protocol did not panic")
+		}
+	}()
+	e.Run(&chatter{rounds: 1})
+}
+
+func TestBatchedDeterminism(t *testing.T) {
+	for _, self := range []bool{false, true} {
+		cfg := Config{
+			N: 400, Channel: channel.FromEpsilon(0.3), Seed: 42,
+			AllowSelfMessages: self, Kernel: KernelBatched,
+		}
+		r1, err := Run(cfg, &bulkChatter{rounds: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _ := Run(cfg, &bulkChatter{rounds: 60})
+		if r1 != r2 {
+			t.Fatalf("self=%v: identical configs diverged:\n%+v\n%+v", self, r1, r2)
+		}
+		cfg.Seed = 43
+		r3, _ := Run(cfg, &bulkChatter{rounds: 60})
+		if r1.MessagesAccepted == r3.MessagesAccepted && r1.Opinions == r3.Opinions {
+			t.Fatalf("self=%v: different seeds produced identical runs", self)
+		}
+	}
+}
+
+func TestBatchedAcceptRateMatchesTheory(t *testing.T) {
+	// Per-message batched path, self-delivery excluded: acceptance per
+	// agent-round is 1 − (1−1/(n−1))^(n−1), as in the per-agent path test.
+	const n, rounds = 200, 400
+	res, err := Run(Config{
+		N: n, Channel: channel.Noiseless{}, Seed: 11, Kernel: KernelBatched,
+	}, &bulkChatter{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.MessagesAccepted) / float64(n*rounds)
+	want := 1 - math.Pow(1-1.0/(n-1), n-1)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("accept rate = %v, want about %v", got, want)
+	}
+}
+
+func TestDenseAcceptRateMatchesTheory(t *testing.T) {
+	// Dense path (self-messages allowed, uniform channel, accumulate
+	// delivery, m ≥ denseMinMessages): acceptance is 1 − (1−1/n)^n.
+	const n, rounds = 512, 400
+	res, err := Run(Config{
+		N: n, Channel: channel.Noiseless{}, Seed: 13,
+		AllowSelfMessages: true, Kernel: KernelBatched,
+	}, &bulkChatter{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.MessagesAccepted) / float64(n*rounds)
+	want := 1 - math.Pow(1-1.0/n, n)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("dense accept rate = %v, want about %v", got, want)
+	}
+	if res.MessagesSent != int64(n*rounds) {
+		t.Fatalf("MessagesSent = %d, want %d", res.MessagesSent, n*rounds)
+	}
+	if res.MessagesAccepted+res.MessagesDropped != res.MessagesSent {
+		t.Fatal("conservation violated on the dense path")
+	}
+}
+
+func TestDenseCollisionResolutionUnbiased(t *testing.T) {
+	// Half the senders push zeros, half ones; by symmetry the delivered
+	// bits must be balanced (Noiseless channel, dense path).
+	const n, rounds = 1024, 300
+	p := &bulkChatter{rounds: rounds}
+	_, err := Run(Config{
+		N: n, Channel: channel.Noiseless{}, Seed: 17,
+		AllowSelfMessages: true, Kernel: KernelBatched,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, ones uint64
+	for a := 0; a < n; a++ {
+		total += p.received(a)
+		ones += p.receivedOnes(a)
+	}
+	frac := float64(ones) / float64(total)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("delivered ones fraction = %v, want about 0.5", frac)
+	}
+}
+
+func TestDenseNoiseRateMatchesChannel(t *testing.T) {
+	// All senders push ones; the only source of delivered zeros is channel
+	// noise, so the zero fraction must match the BSC flip probability.
+	const n, rounds = 512, 400
+	p := &allOnesBulk{bulkChatter{rounds: rounds}}
+	_, err := Run(Config{
+		N: n, Channel: channel.NewBSC(0.2), Seed: 19,
+		AllowSelfMessages: true, Kernel: KernelBatched,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, ones uint64
+	for a := 0; a < n; a++ {
+		total += p.received(a)
+		ones += p.receivedOnes(a)
+	}
+	frac := 1 - float64(ones)/float64(total)
+	if math.Abs(frac-0.2) > 0.01 {
+		t.Fatalf("flip fraction = %v, want about 0.2", frac)
+	}
+}
+
+// allOnesBulk sends bit 1 from every agent.
+type allOnesBulk struct{ bulkChatter }
+
+func (c *allOnesBulk) Setup(n int, r *rng.RNG) {
+	c.bulkChatter.Setup(n, r)
+	c.zeros = c.zeros[:0]
+	c.ones = c.ones[:0]
+	for a := 0; a < n; a++ {
+		c.ones = append(c.ones, int32(a))
+	}
+}
+func (c *allOnesBulk) Send(a, round int) (channel.Bit, bool) { return channel.One, true }
+
+func TestBatchedNoSelfDelivery(t *testing.T) {
+	// n = 2 without self-messages: every message must reach the other
+	// agent, exactly as on the per-agent path.
+	const rounds = 200
+	p := &bulkChatter{rounds: rounds}
+	res, err := Run(Config{
+		N: 2, Channel: channel.Noiseless{}, Seed: 3, Kernel: KernelBatched,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesAccepted != 2*rounds {
+		t.Fatalf("accepted %d of %d", res.MessagesAccepted, 2*rounds)
+	}
+	for a := 0; a < 2; a++ {
+		if got := p.received(a); got != rounds {
+			t.Fatalf("agent %d received %d, want %d", a, got, rounds)
+		}
+	}
+}
+
+func TestBatchedDropProb(t *testing.T) {
+	for _, self := range []bool{false, true} {
+		const n, rounds = 512, 100
+		res, err := Run(Config{
+			N: n, Channel: channel.Noiseless{}, Seed: 13, DropProb: 0.5,
+			AllowSelfMessages: self, Kernel: KernelBatched,
+		}, &bulkChatter{rounds: rounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minDropped := int64(float64(n*rounds) * 0.45)
+		if res.MessagesDropped < minDropped {
+			t.Fatalf("self=%v: dropped %d, want at least %d", self, res.MessagesDropped, minDropped)
+		}
+		if res.MessagesAccepted+res.MessagesDropped != res.MessagesSent {
+			t.Fatalf("self=%v: conservation violated", self)
+		}
+	}
+}
+
+func TestBatchedMatchesPerAgentStatistically(t *testing.T) {
+	// The same protocol under both kernels must produce the same
+	// acceptance statistics: each path is exact in law, so across seeds
+	// the mean accepted counts agree within a few standard errors.
+	const n, rounds, seeds = 256, 120, 12
+	meanAccepted := func(kernel Kernel, self bool) float64 {
+		var sum int64
+		for seed := uint64(0); seed < seeds; seed++ {
+			res, err := Run(Config{
+				N: n, Channel: channel.FromEpsilon(0.3), Seed: seed,
+				Kernel: kernel, AllowSelfMessages: self,
+			}, &bulkChatter{rounds: rounds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.MessagesAccepted
+		}
+		return float64(sum) / seeds
+	}
+	for _, self := range []bool{false, true} {
+		ref := meanAccepted(KernelPerAgent, self)
+		got := meanAccepted(KernelBatched, self)
+		if math.Abs(got-ref)/ref > 0.01 {
+			t.Fatalf("self=%v: batched accepted mean %v deviates from per-agent %v", self, got, ref)
+		}
+	}
+}
+
+func TestDenseAcceptDrawExactlyUniform(t *testing.T) {
+	// Exhaustive check of the fused accept-one draw: over all 2048 low-bit
+	// patterns, the draws that survive Lemire rejection must map onto each
+	// value in [0, cnt) exactly ⌊2048/cnt⌋ times — the property that makes
+	// "value < ones" accept with probability exactly ones/cnt. In
+	// particular, a draw with product low bits in [2¹¹ mod cnt, cnt) is
+	// acceptable and must NOT be redrawn: discarding it would reintroduce
+	// the bias of an unrejected multiply-shift.
+	e, err := NewEngine(Config{N: 16, Channel: channel.Noiseless{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.bulk = &bulkState{}
+	for cnt := uint64(2); cnt <= 24; cnt++ {
+		counts := make([]int, cnt)
+		kept := 0
+		for u := uint64(0); u < 2048; u++ {
+			prod := u * cnt
+			x, outProd := e.denseRedraw(u, prod, cnt)
+			if x != u {
+				continue // genuinely rejected and redrawn
+			}
+			counts[outProd>>11]++
+			kept++
+		}
+		want := 2048 / int(cnt)
+		if kept != want*int(cnt) {
+			t.Fatalf("cnt=%d: kept %d draws, want %d", cnt, kept, want*int(cnt))
+		}
+		for v, got := range counts {
+			if got != want {
+				t.Fatalf("cnt=%d: value %d hit by %d accepted draws, want %d", cnt, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseDeferredHandlesMidRangeCounts(t *testing.T) {
+	// Arrival counts in [2048, 0xfff) exceed the 11-bit Lemire accept draw
+	// but do not reach the spill list; the resolve scan must defer them to
+	// the full-width path (a biased — formerly non-terminating — inline
+	// draw otherwise). Exercise denseResolveDeferred directly on a crafted
+	// slot in that band and at the spill boundary.
+	e, err := NewEngine(Config{
+		N: 16, Channel: channel.NewBSC(0.2), Seed: 1, AllowSelfMessages: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.bulk = &bulkState{
+		dStamp:      1,
+		dInbox:      make([]uint32, 16),
+		accs:        make([]uint64, 16),
+		noiseThresh: channel.FlipThreshold53(0.2),
+	}
+	// Slot 3: 3000 arrivals, 1500 ones — mid-band, no spill entries.
+	e.bulk.dInbox[3] = 1<<24 | 1500<<12 | 3000
+	e.denseResolveDeferred(3)
+	if total := e.bulk.accs[3] & (1<<32 - 1); total != 1 {
+		t.Fatalf("deferred slot delivered %d messages, want 1", total)
+	}
+	// Slot 5: saturated packed counter plus spill tail.
+	e.bulk.dInbox[5] = 1<<24 | 2000<<12 | 0xfff
+	e.bulk.spill = append(e.bulk.spill, denseSpill{slot: 5, count: 7, ones: 3})
+	e.denseResolveDeferred(5)
+	if total := e.bulk.accs[5] & (1<<32 - 1); total != 1 {
+		t.Fatalf("saturated slot delivered %d messages, want 1", total)
+	}
+}

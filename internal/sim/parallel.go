@@ -40,30 +40,39 @@ func RunSeeds(cfg Config, factory func() Protocol, seeds, workers int) ([]SeedRu
 		workers = seeds
 	}
 	// Validate once up front so workers cannot race on a broken config.
-	if _, err := NewEngine(cfg); err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 
 	out := make([]SeedRun, seeds)
-	errs := make([]error, seeds)
+	errs := make([]error, workers)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// One engine per worker: Reset(seed) re-arms it between runs,
+			// reusing the per-agent inbox and batched-kernel buffers
+			// instead of reallocating them for every seed. Reset makes
+			// each run identical to a fresh NewEngine at that seed, so
+			// results stay bit-for-bit equal to serial Run calls.
+			var engine *Engine
 			for i := range next {
-				runCfg := cfg
-				runCfg.Seed = uint64(i)
-				proto := factory()
-				res, err := Run(runCfg, proto)
-				if err != nil {
-					errs[i] = err
-					continue
+				if engine == nil {
+					e, err := NewEngine(cfg)
+					if err != nil {
+						errs[w] = err
+						continue
+					}
+					engine = e
 				}
-				out[i] = SeedRun{Seed: runCfg.Seed, Result: res, Protocol: proto}
+				engine.Reset(uint64(i))
+				proto := factory()
+				res := engine.Run(proto)
+				out[i] = SeedRun{Seed: uint64(i), Result: res, Protocol: proto}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < seeds; i++ {
 		next <- i

@@ -59,6 +59,25 @@ type FailurePlan interface {
 // Observer is called at the end of every executed round; used for tracing.
 type Observer func(round int, e *Engine)
 
+// Kernel selects the execution strategy of the engine's round loop.
+type Kernel int
+
+const (
+	// KernelAuto (the default) uses the batched kernel whenever the
+	// protocol implements BulkProtocol and the configuration permits it,
+	// and the per-agent path otherwise.
+	KernelAuto Kernel = iota
+	// KernelPerAgent forces the per-agent reference path: one Send call
+	// per agent per round, reservoir collision resolution, one Transmit
+	// per accepted message. This is the executable definition of the
+	// model; the batched kernel is tested for equivalence against it.
+	KernelPerAgent
+	// KernelBatched requires the batched kernel; Run panics with a clear
+	// message when the protocol or configuration cannot support it. Use
+	// it in tests and benchmarks that must not silently fall back.
+	KernelBatched
+)
+
 // Config assembles a simulation run.
 type Config struct {
 	// N is the population size (>= 2).
@@ -84,6 +103,8 @@ type Config struct {
 	Failures FailurePlan
 	// Observer, if set, runs after every executed round.
 	Observer Observer
+	// Kernel selects the round-loop strategy (default KernelAuto).
+	Kernel Kernel
 }
 
 func (c Config) validate() error {
@@ -145,9 +166,12 @@ func (r Result) AllCorrect(target channel.Bit) bool {
 	return r.Opinions[target] == total
 }
 
-// Engine executes protocols under a Config. Engines are single-use: build
-// one with NewEngine, call Run once, then read the Result. Mid-run state
-// (per-agent inboxes and opinion snapshots) is exposed to Observers.
+// Engine executes protocols under a Config. An engine runs one protocol
+// per arming: build one with NewEngine, call Run, read the Result, and
+// call Reset(seed) before any further Run. A second Run without Reset
+// panics — it would silently reuse stale counters and inbox stamps and
+// corrupt the Result. Mid-run state (per-agent inboxes and opinion
+// snapshots) is exposed to Observers.
 type Engine struct {
 	cfg Config
 
@@ -161,6 +185,9 @@ type Engine struct {
 	inCount []int32
 	inStamp []int32
 
+	bulk *bulkState // lazily allocated batched-kernel buffers
+
+	started  bool
 	round    int
 	sent     int64
 	accepted int64
@@ -175,20 +202,35 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 1 << 20
 	}
-	root := rng.New(cfg.Seed)
 	e := &Engine{
-		cfg:        cfg,
-		engineRNG:  root.Split(),
-		channelRNG: root.Split(),
-		protoRNG:   root.Split(),
-		inBit:      make([]channel.Bit, cfg.N),
-		inCount:    make([]int32, cfg.N),
-		inStamp:    make([]int32, cfg.N),
+		cfg:     cfg,
+		inBit:   make([]channel.Bit, cfg.N),
+		inCount: make([]int32, cfg.N),
+		inStamp: make([]int32, cfg.N),
 	}
+	e.Reset(cfg.Seed)
+	return e, nil
+}
+
+// Reset re-arms the engine for a fresh run with the given seed, reusing
+// every allocated buffer. A Reset engine behaves exactly like a newly
+// constructed one with Config.Seed = seed: Run is again a pure function of
+// (config, protocol, seed). Reset during a run is not supported.
+func (e *Engine) Reset(seed uint64) {
+	e.cfg.Seed = seed
+	root := rng.New(seed)
+	e.engineRNG = root.Split()
+	e.channelRNG = root.Split()
+	e.protoRNG = root.Split()
 	for i := range e.inStamp {
 		e.inStamp[i] = -1
 	}
-	return e, nil
+	if e.bulk != nil {
+		e.bulk.reset()
+	}
+	e.started = false
+	e.round = 0
+	e.sent, e.accepted, e.dropped = 0, 0, 0
 }
 
 // N returns the population size.
@@ -201,17 +243,30 @@ func (e *Engine) Round() int { return e.round }
 // MessagesSent returns the running total of pushes.
 func (e *Engine) MessagesSent() int64 { return e.sent }
 
-// Run executes p until it reports Done or MaxRounds is hit.
+// Run executes p until it reports Done or MaxRounds is hit. Calling Run a
+// second time without an intervening Reset panics: the engine's counters
+// and inbox stamps carry state from the finished run.
 func (e *Engine) Run(p Protocol) Result {
+	if e.started {
+		panic("sim: Engine.Run called twice — engines run once per arming; call Reset(seed) to reuse the engine")
+	}
+	e.started = true
+
 	n := e.cfg.N
 	p.Setup(n, e.protoRNG)
+
+	bp, batched := e.selectKernel(p)
 
 	res := Result{Protocol: p.Name()}
 	for e.round = 0; e.round < e.cfg.MaxRounds; e.round++ {
 		if p.Done(e.round) {
 			break
 		}
-		e.step(p)
+		if batched {
+			e.stepBulk(bp)
+		} else {
+			e.step(p)
+		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(e.round, e)
 		}
