@@ -118,6 +118,10 @@ func BenchmarkE18Faults(b *testing.B) { benchExperiment(b, "E18") }
 // reproduces the per-agent reference path.
 func BenchmarkE19KernelEquivalence(b *testing.B) { benchExperiment(b, "E19") }
 
+// BenchmarkE20AsyncCrashKernel regenerates E20: the batched kernel covers
+// the asynchronous §3 protocols and crash-fault plans.
+func BenchmarkE20AsyncCrashKernel(b *testing.B) { benchExperiment(b, "E20") }
+
 // --- kernel benchmarks: batched vs per-agent (PR 1 acceptance) ---
 
 // kernelBroadcast runs one full broadcast through the chosen kernel and

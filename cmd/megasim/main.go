@@ -1,6 +1,10 @@
 // Command megasim runs the production-scale scenario: noisy broadcast or
 // majority consensus over a population of one million agents, executed by
-// the batched round kernel.
+// the batched round kernel. The §3 asynchronous protocols (-protocol
+// async-offsets | async-selfsync) and crash faults (-crash) run on the
+// same kernel: async rounds cost O(senders) instead of Θ(n) even through
+// the quiescent dilation gaps, and crash plans filter the batched sender
+// lists per round.
 //
 // The scenario standardizes on the classical push-gossip convention in
 // which a sender may draw itself as the recipient (-self, default true):
@@ -12,17 +16,23 @@
 //
 //	megasim                                  # broadcast, n = 1,000,000
 //	megasim -protocol consensus -n 2000000
+//	megasim -protocol async-offsets -n 100000    # §3.1, clocks offset by D
+//	megasim -protocol async-selfsync -n 100000   # §3.2, activation-phase sync
+//	megasim -crash 0.1 -n 1000000            # 10% initial crash faults
 //	megasim -kernel per-agent -n 100000      # the reference path, for comparison
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
+	"breathe/internal/async"
 	"breathe/internal/channel"
 	"breathe/internal/core"
+	"breathe/internal/rng"
 	"breathe/internal/sim"
 )
 
@@ -33,22 +43,30 @@ func main() {
 	}
 }
 
+// crashSeedSalt decorrelates the crash-plan randomness from the engine
+// streams that rng.New(seed) seeds.
+const crashSeedSalt = 0x9e3779b97f4a7c15
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("megasim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "broadcast", "broadcast | consensus")
+		protocol = fs.String("protocol", "broadcast", "broadcast | consensus | async-offsets | async-selfsync")
 		n        = fs.Int("n", 1_000_000, "population size")
 		eps      = fs.Float64("eps", 0.3, "channel parameter ε (flip prob = 1/2−ε)")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		kernel   = fs.String("kernel", "batched", "batched | per-agent")
 		self     = fs.Bool("self", true, "allow self-messages (classical push convention; enables aggregate recipient sampling)")
 		aBias    = fs.Float64("abias", 0.2, "consensus: majority-bias of the initial set")
+		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n < 2 || *eps <= 0 || *eps > 0.5 {
 		return fmt.Errorf("need n >= 2 and eps in (0, 0.5]")
+	}
+	if *crash < 0 || *crash >= 1 {
+		return fmt.Errorf("crash probability %v outside [0, 1)", *crash)
 	}
 	var k sim.Kernel
 	switch *kernel {
@@ -61,23 +79,49 @@ func run(args []string) error {
 	}
 
 	params := core.DefaultParams(*n, *eps)
-	var proto *core.Protocol
-	var err error
+	logN := int(math.Ceil(math.Log2(float64(*n))))
+	var proto sim.Protocol
+	var schedule string
 	switch *protocol {
-	case "broadcast":
-		proto, err = core.NewBroadcast(params, channel.One)
-	case "consensus":
-		sizeA := 4 * params.BetaS
-		if sizeA > *n/2 {
-			sizeA = *n / 2
+	case "broadcast", "consensus":
+		var p *core.Protocol
+		var err error
+		if *protocol == "broadcast" {
+			p, err = core.NewBroadcast(params, channel.One)
+		} else {
+			sizeA := 4 * params.BetaS
+			if sizeA > *n/2 {
+				sizeA = *n / 2
+			}
+			correct := int(float64(sizeA) * (0.5 + *aBias))
+			p, err = core.NewConsensus(params, channel.One, correct, sizeA-correct)
 		}
-		correct := int(float64(sizeA) * (0.5 + *aBias))
-		proto, err = core.NewConsensus(params, channel.One, correct, sizeA-correct)
+		if err != nil {
+			return err
+		}
+		proto = p
+		schedule = fmt.Sprintf("%d rounds (Stage I %d, Stage II %d)",
+			params.TotalRounds(), params.StageIRounds(), params.StageIIRounds())
+	case "async-offsets":
+		D := 2 * logN
+		p, err := async.NewKnownOffsets(params, channel.One, D)
+		if err != nil {
+			return err
+		}
+		proto = p
+		schedule = fmt.Sprintf("%d rounds (%d dilated phases, clock spread D = %d)",
+			p.TotalRounds(), p.NumPhases(), D)
+	case "async-selfsync":
+		L := 3 * logN
+		p, err := async.NewSelfSync(params, channel.One, L)
+		if err != nil {
+			return err
+		}
+		proto = p
+		schedule = fmt.Sprintf("%d rounds (%d dilated phases, activation prelude L = %d)",
+			p.TotalRounds(), p.NumPhases(), L)
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
-	}
-	if err != nil {
-		return err
 	}
 
 	ch := channel.Channel(channel.Noiseless{})
@@ -88,11 +132,18 @@ func run(args []string) error {
 		N: *n, Channel: ch, Seed: *seed,
 		AllowSelfMessages: *self, Kernel: k,
 	}
+	if *crash > 0 {
+		// Agent 0 (the broadcast source / first initial-set member) is
+		// protected so the scenario stays winnable by definition.
+		plan := sim.NewRandomCrashes(*n, *crash, 0, rng.New(*seed^crashSeedSalt), 0)
+		cfg.Failures = plan
+		fmt.Printf("crashes:   %d of %d agents down from round 0 (p = %.3g)\n",
+			plan.NumCrashed(), *n, *crash)
+	}
 
 	fmt.Printf("scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v\n",
 		*protocol, *n, *eps, *seed, *kernel, *self)
-	fmt.Printf("schedule:  %d rounds (Stage I %d, Stage II %d)\n",
-		params.TotalRounds(), params.StageIRounds(), params.StageIIRounds())
+	fmt.Printf("schedule:  %s\n", schedule)
 
 	start := time.Now()
 	res, err := sim.Run(cfg, proto)

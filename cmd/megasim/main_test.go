@@ -24,12 +24,42 @@ func TestRunExclusionMode(t *testing.T) {
 	}
 }
 
+func TestRunAsyncProtocols(t *testing.T) {
+	// The §3 protocols on both kernels — the batched kernel now covers
+	// them via the offset-class sender lists.
+	for _, proto := range []string{"async-offsets", "async-selfsync"} {
+		for _, kernel := range []string{"batched", "per-agent"} {
+			if err := run([]string{"-protocol", proto, "-n", "1024", "-kernel", kernel, "-seed", "2"}); err != nil {
+				t.Fatalf("%s on %s: %v", proto, kernel, err)
+			}
+		}
+	}
+}
+
+func TestRunCrashFaults(t *testing.T) {
+	// Crash plans on the batched kernel (per-message path), for the
+	// synchronous and asynchronous protocols.
+	cases := [][]string{
+		{"-n", "2048", "-crash", "0.1", "-seed", "6"},
+		{"-protocol", "consensus", "-n", "2048", "-crash", "0.1", "-seed", "7"},
+		{"-protocol", "async-offsets", "-n", "1024", "-crash", "0.1", "-seed", "8"},
+		{"-protocol", "async-selfsync", "-n", "1024", "-crash", "0.1", "-seed", "9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-n", "1"},
 		{"-eps", "0.7"},
 		{"-kernel", "warp"},
 		{"-protocol", "rumor"},
+		{"-crash", "1.5"},
+		{"-crash", "-0.1"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

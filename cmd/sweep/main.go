@@ -1,14 +1,20 @@
 // Command sweep runs the broadcast protocol over a grid of population
-// sizes and channel parameters, emitting CSV for plotting.
+// sizes and channel parameters, emitting CSV for plotting. Each grid
+// cell's seed replications run through sim.RunSeeds, so they share worker
+// engines (buffer reuse via Engine.Reset) and spread over -workers cores;
+// cell (n, eps) uses seeds -seed .. -seed+-seeds-1 and is bit-for-bit
+// reproducible.
 //
 // Usage:
 //
 //	sweep -ns 1024,4096,16384 -epss 0.2,0.3,0.45 -seeds 5 > results.csv
+//	sweep -ns 65536 -epss 0.3 -seeds 20 -workers 8 -seed 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,7 +27,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -51,12 +57,14 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		nsFlag   = fs.String("ns", "1024,4096", "comma-separated population sizes")
 		epssFlag = fs.String("epss", "0.2,0.3", "comma-separated ε values")
 		seeds    = fs.Int("seeds", 5, "seeds per cell")
+		baseSeed = fs.Uint64("seed", 0, "base seed: a cell runs seeds seed..seed+seeds-1")
+		workers  = fs.Int("workers", 0, "worker goroutines per cell (0 = all cores)")
 		format   = fs.String("format", "csv", "csv | table | markdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +83,7 @@ func run(args []string) error {
 	}
 
 	tb := trace.NewTable("broadcast sweep",
-		"n", "eps", "rounds", "mean_messages", "success_rate", "mean_stage1_bias")
+		"n", "eps", "mean_rounds", "max_rounds", "mean_messages", "success_rate", "mean_stage1_bias")
 	for _, n := range ns {
 		for _, eps := range epss {
 			if n < 2 || eps <= 0 || eps > 0.5 {
@@ -86,35 +94,47 @@ func run(args []string) error {
 			if eps < 0.5 {
 				ch = channel.FromEpsilon(eps)
 			}
-			var msgs, bias stats.Running
-			success, rounds := 0, 0
-			for seed := 0; seed < *seeds; seed++ {
-				p, err := core.NewBroadcast(params, channel.One)
-				if err != nil {
-					return err
+			// Probe the constructor once so any parameter error surfaces
+			// here; the factory below cannot return one.
+			if _, err := core.NewBroadcast(params, channel.One); err != nil {
+				return err
+			}
+			runs, err := sim.RunSeeds(
+				sim.Config{N: n, Channel: ch, Seed: *baseSeed},
+				func() sim.Protocol {
+					p, err := core.NewBroadcast(params, channel.One)
+					if err != nil {
+						panic(err) // unreachable: probed above
+					}
+					return p
+				}, *seeds, *workers)
+			if err != nil {
+				return err
+			}
+			var rounds, msgs, bias stats.Running
+			maxRounds, success := 0, 0
+			for _, r := range runs {
+				rounds.Add(float64(r.Result.Rounds))
+				if r.Result.Rounds > maxRounds {
+					maxRounds = r.Result.Rounds
 				}
-				res, err := sim.Run(sim.Config{N: n, Channel: ch, Seed: uint64(seed)}, p)
-				if err != nil {
-					return err
-				}
-				rounds = res.Rounds
-				msgs.Add(float64(res.MessagesSent))
-				bias.Add(p.Telemetry().BiasAfterStageI)
-				if res.AllCorrect(channel.One) {
+				msgs.Add(float64(r.Result.MessagesSent))
+				bias.Add(r.Protocol.(*core.Protocol).Telemetry().BiasAfterStageI)
+				if r.Result.AllCorrect(channel.One) {
 					success++
 				}
 			}
-			tb.AddRowValues(n, eps, rounds, msgs.Mean(),
+			tb.AddRowValues(n, eps, rounds.Mean(), maxRounds, msgs.Mean(),
 				float64(success)/float64(*seeds), bias.Mean())
 		}
 	}
 	switch *format {
 	case "csv":
-		return tb.WriteCSV(os.Stdout)
+		return tb.WriteCSV(out)
 	case "table":
-		return tb.WriteText(os.Stdout)
+		return tb.WriteText(out)
 	case "markdown":
-		return tb.WriteMarkdown(os.Stdout)
+		return tb.WriteMarkdown(out)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}

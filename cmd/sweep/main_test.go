@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -33,9 +35,53 @@ func TestParseFloats(t *testing.T) {
 
 func TestRunSmallSweep(t *testing.T) {
 	for _, format := range []string{"csv", "table", "markdown"} {
-		if err := run([]string{"-ns", "128", "-epss", "0.3", "-seeds", "2", "-format", format}); err != nil {
+		if err := run([]string{"-ns", "128", "-epss", "0.3", "-seeds", "2", "-format", format}, io.Discard); err != nil {
 			t.Fatalf("format %s: %v", format, err)
 		}
+	}
+}
+
+func TestRunReportsRoundsAcrossSeeds(t *testing.T) {
+	// Regression: the rounds column used to be overwritten every seed
+	// iteration, reporting only the last seed's count. The table now
+	// carries the mean and max across the cell's seeds; for the broadcast
+	// protocol the schedule is deterministic, so both must equal the
+	// fixed round count of every run.
+	var buf strings.Builder
+	if err := run([]string{"-ns", "128", "-epss", "0.3", "-seeds", "3", "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV lines, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	wantHeader := []string{"n", "eps", "mean_rounds", "max_rounds", "mean_messages", "success_rate", "mean_stage1_bias"}
+	if !reflect.DeepEqual(header, wantHeader) {
+		t.Fatalf("header = %v, want %v", header, wantHeader)
+	}
+	row := strings.Split(lines[1], ",")
+	if row[2] == "0" || row[3] == "0" {
+		t.Fatalf("rounds columns empty: %v", row)
+	}
+	if row[2] != row[3] {
+		t.Fatalf("deterministic schedule: mean_rounds %s != max_rounds %s", row[2], row[3])
+	}
+}
+
+func TestRunSweepIsReproducibleAndSeedSensitive(t *testing.T) {
+	render := func(args ...string) string {
+		var buf strings.Builder
+		if err := run(append([]string{"-ns", "128", "-epss", "0.3", "-seeds", "2"}, args...), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render("-workers", "1") != render("-workers", "3") {
+		t.Fatal("worker count changed the sweep output")
+	}
+	if render("-seed", "0") == render("-seed", "1000") {
+		t.Fatal("different base seeds produced identical sweeps")
 	}
 }
 
@@ -50,7 +96,7 @@ func TestRunValidation(t *testing.T) {
 		{"-bogus"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

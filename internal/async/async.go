@@ -100,8 +100,20 @@ type Protocol struct {
 	levelPos   []int32 // schedule position of the activation phase; −1 = pre-activated
 	hasOpinion []bool
 	opinion    []channel.Bit
-	ones       []int32
-	total      []int32
+	// acc packs each agent's per-phase reception counters as
+	// ones<<32 | total (the same single-word layout as core.Protocol), so
+	// a delivery is one read-modify-write of one cache line.
+	acc []uint64
+
+	// Batched-kernel state (bulk.go): agents grouped by clock base into
+	// offset classes, with per-class cached sender lists. sendersGen is
+	// bumped whenever a phase finalization may change opinions, which
+	// invalidates every class cache at once.
+	classes    []offsetClass
+	classIdx   map[int]int // base → index into classes
+	sendersGen uint64
+	bulkZeros  []int32 // scratch union buffers returned by BulkSenders
+	bulkOnes   []int32
 
 	// Telemetry.
 	stageIIStats []core.StageIIPhaseStat
@@ -240,8 +252,7 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 	p.levelPos = make([]int32, n)
 	p.hasOpinion = make([]bool, n)
 	p.opinion = make([]channel.Bit, n)
-	p.ones = make([]int32, n)
-	p.total = make([]int32, n)
+	p.acc = make([]uint64, n)
 
 	if p.consensus {
 		for a := 0; a < p.correctA+p.wrongA; a++ {
@@ -262,11 +273,13 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 		p.opinion[0] = p.target
 	}
 
+	p.resetBulk()
 	switch p.mode {
 	case ModeKnownOffsets:
 		for a := 0; a < n; a++ {
 			p.base[a] = r.Intn(p.D)
 			p.hasBase[a] = true
+			p.classAdd(a)
 		}
 	case ModeSelfSync:
 		// Only the source has a clock at the start: informed at round 0,
@@ -274,6 +287,7 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 		p.base[0] = -2 * p.preludeLen
 		p.hasBase[0] = true
 		p.preludeDone = 1
+		p.classAdd(0)
 	}
 }
 
@@ -363,37 +377,47 @@ func (p *Protocol) Send(a, g int) (channel.Bit, bool) {
 	return p.opinion[a], true
 }
 
+// accTotalMask extracts the received-messages counter from an acc word.
+const accTotalMask = 1<<32 - 1
+
+// firstContact starts (and schedules the reset of) agent a's clock on its
+// first reception, and begins the agent's own activation broadcast
+// (ModeSelfSync).
+func (p *Protocol) firstContact(a, g int) {
+	p.base[a] = -(g + 2*p.preludeLen)
+	p.hasBase[a] = true
+	p.preludeDone++
+	p.classAdd(a)
+}
+
 // Receive implements sim.Protocol.
 func (p *Protocol) Receive(a int, bit channel.Bit, g int) {
 	if p.mode == ModeSelfSync && !p.hasBase[a] {
-		// First contact: start (and schedule the reset of) the clock,
-		// and begin this agent's own activation broadcast.
-		p.base[a] = -(g + 2*p.preludeLen)
-		p.hasBase[a] = true
-		p.preludeDone++
+		p.firstContact(a, g)
 		return
 	}
 	k := p.phaseOfGlobal(g)
 	if k < 0 {
 		return // prelude traffic or dead gap
 	}
-	ph := p.phases[k]
-	switch ph.ref.Stage {
+	p.receiveAt(a, bit, k)
+}
+
+// receiveAt applies one accepted delivery attributed to phase k.
+func (p *Protocol) receiveAt(a int, bit channel.Bit, k int) {
+	switch p.phases[k].ref.Stage {
 	case core.StageI:
 		if !p.activated[a] {
 			p.activated[a] = true
 			p.levelPos[a] = int32(k)
-			p.ones[a] = int32(bit)
-			p.total[a] = 1
+			p.acc[a] = uint64(bit)<<32 | 1
 			return
 		}
 		if p.levelPos[a] == int32(k) && !p.hasOpinion[a] {
-			p.ones[a] += int32(bit)
-			p.total[a]++
+			p.acc[a] += uint64(bit)<<32 + 1
 		}
 	case core.StageII:
-		p.ones[a] += int32(bit)
-		p.total[a]++
+		p.acc[a] += uint64(bit)<<32 + 1
 	}
 }
 
@@ -426,33 +450,35 @@ func (p *Protocol) EndRound(g int) {
 }
 
 func (p *Protocol) finalizeStageI(k int) {
+	p.sendersGen++ // opinions change below: invalidate cached sender lists
 	for a := 0; a < p.n; a++ {
 		if !p.activated[a] || p.hasOpinion[a] || p.levelPos[a] != int32(k) {
 			continue
 		}
-		if p.rng.Uint64n(uint64(p.total[a])) < uint64(p.ones[a]) {
+		if p.rng.Uint64n(p.acc[a]&accTotalMask) < p.acc[a]>>32 {
 			p.opinion[a] = channel.One
 		} else {
 			p.opinion[a] = channel.Zero
 		}
 		p.hasOpinion[a] = true
-		p.ones[a], p.total[a] = 0, 0
+		p.acc[a] = 0
 	}
 	// Clear stale counters before Stage II begins.
 	if k+1 < len(p.phases) && p.phases[k+1].ref.Stage == core.StageII {
 		for a := 0; a < p.n; a++ {
-			p.ones[a], p.total[a] = 0, 0
+			p.acc[a] = 0
 		}
 	}
 }
 
 func (p *Protocol) finalizeStageII(k, g int) {
+	p.sendersGen++ // opinions change below: invalidate cached sender lists
 	ph := p.phases[k]
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
-		if int(p.total[a]) >= ph.subset {
+		if total := int(p.acc[a] & accTotalMask); total >= ph.subset {
 			successful++
-			onesSub := p.rng.Hypergeometric(int(p.total[a]), int(p.ones[a]), ph.subset)
+			onesSub := p.rng.Hypergeometric(total, int(p.acc[a]>>32), ph.subset)
 			if 2*onesSub > ph.subset {
 				p.opinion[a] = channel.One
 			} else {
@@ -460,7 +486,7 @@ func (p *Protocol) finalizeStageII(k, g int) {
 			}
 			p.hasOpinion[a] = true
 		}
-		p.ones[a], p.total[a] = 0, 0
+		p.acc[a] = 0
 		if p.hasOpinion[a] && p.opinion[a] == p.target {
 			correct++
 		}

@@ -1,21 +1,19 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(all))
+	if len(all) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
-		want := "E" + string(rune('1'+i))
-		if i >= 9 {
-			want = "E1" + string(rune('0'+i-9))
-		}
+		want := fmt.Sprintf("E%d", i+1)
 		if e.ID != want {
 			t.Errorf("experiment %d has ID %q, want %q", i, e.ID, want)
 		}
@@ -36,7 +34,7 @@ func TestByID(t *testing.T) {
 	if e := ByID("nope"); e != nil {
 		t.Fatal("ByID should return nil for unknown")
 	}
-	if got := len(IDs()); got != 19 {
+	if got := len(IDs()); got != 20 {
 		t.Fatalf("IDs() returned %d", got)
 	}
 }

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"breathe/internal/async"
+	"breathe/internal/channel"
+	"breathe/internal/core"
+	"breathe/internal/rng"
+	"breathe/internal/sim"
+	"breathe/internal/trace"
+)
+
+// --- E20: batched kernel covers async and crash-fault scenarios ---
+
+func e20() *Experiment {
+	return &Experiment{
+		ID:       "E20",
+		Title:    "Batched kernel covers async and crash-fault scenarios",
+		PaperRef: "engine PR 2 (§3 asynchronous protocols; §1.2 crash faults; model unchanged)",
+		Expectation: "identical round counts and statistically identical success " +
+			"rates and message totals across the per-agent and batched kernels " +
+			"for the §3.1/§3.2 asynchronous protocols (broadcast and consensus) " +
+			"and for initial crash-fault plans",
+		Run: func(o Options) (*Report, error) {
+			n := 2048
+			if o.Quick {
+				n = 1024
+			}
+			eps := 0.3
+			seeds := o.seeds()
+			params := core.DefaultParams(n, eps)
+			logN := int(math.Ceil(math.Log2(float64(n))))
+			sizeA := 4 * params.BetaS
+
+			// Each scenario builds a fresh protocol per seed; the crash
+			// scenario additionally derives the same failure plan for both
+			// kernels at a given seed, so the kernels face identical fault
+			// patterns. succeeded() is AllCorrect for the fault-free runs
+			// and all-survivors-correct under crashes.
+			type scenario struct {
+				name      string
+				rounds    int // scheduled length every run must hit exactly
+				factory   func() (sim.Protocol, error)
+				failures  func(seed uint64) *sim.RandomCrashes
+				succeeded func(res sim.Result, plan *sim.RandomCrashes) bool
+			}
+			allCorrect := func(res sim.Result, _ *sim.RandomCrashes) bool {
+				return res.AllCorrect(channel.One)
+			}
+			asyncOff, err := async.NewKnownOffsets(params, channel.One, 2*logN)
+			if err != nil {
+				return nil, err
+			}
+			asyncSelf, err := async.NewSelfSync(params, channel.One, 3*logN)
+			if err != nil {
+				return nil, err
+			}
+			asyncCons, err := async.NewKnownOffsetsConsensus(params, channel.One, sizeA*3/4, sizeA/4, 2*logN)
+			if err != nil {
+				return nil, err
+			}
+			scenarios := []scenario{
+				{
+					name: "async-offsets", rounds: asyncOff.TotalRounds(),
+					factory: func() (sim.Protocol, error) {
+						return async.NewKnownOffsets(params, channel.One, 2*logN)
+					},
+					succeeded: allCorrect,
+				},
+				{
+					name: "async-selfsync", rounds: asyncSelf.TotalRounds(),
+					factory: func() (sim.Protocol, error) {
+						return async.NewSelfSync(params, channel.One, 3*logN)
+					},
+					succeeded: allCorrect,
+				},
+				{
+					name: "async-consensus", rounds: asyncCons.TotalRounds(),
+					factory: func() (sim.Protocol, error) {
+						return async.NewKnownOffsetsConsensus(params, channel.One, sizeA*3/4, sizeA/4, 2*logN)
+					},
+					succeeded: allCorrect,
+				},
+				{
+					name: "crash-broadcast", rounds: params.TotalRounds(),
+					factory: func() (sim.Protocol, error) {
+						return core.NewBroadcast(params, channel.One)
+					},
+					failures: func(seed uint64) *sim.RandomCrashes {
+						return sim.NewRandomCrashes(n, 0.1, 0, rng.New(3000+seed), 0)
+					},
+					succeeded: func(res sim.Result, plan *sim.RandomCrashes) bool {
+						return res.Opinions[channel.One] == n-plan.NumCrashed()
+					},
+				},
+			}
+
+			type pathStat struct {
+				success     float64
+				meanMsgs    float64
+				roundsMatch bool
+			}
+			measure := func(sc scenario, kernel sim.Kernel) (pathStat, error) {
+				st := pathStat{roundsMatch: true}
+				var msgs float64
+				succ := 0
+				for seed := 0; seed < seeds; seed++ {
+					p, err := sc.factory()
+					if err != nil {
+						return st, err
+					}
+					cfg := sim.Config{
+						N: n, Channel: channel.FromEpsilon(eps), Seed: uint64(seed),
+						Kernel: kernel,
+					}
+					var plan *sim.RandomCrashes
+					if sc.failures != nil {
+						plan = sc.failures(uint64(seed))
+						cfg.Failures = plan
+					}
+					res, err := sim.Run(cfg, p)
+					if err != nil {
+						return st, err
+					}
+					if res.Rounds != sc.rounds {
+						st.roundsMatch = false
+					}
+					msgs += float64(res.MessagesSent)
+					if sc.succeeded(res, plan) {
+						succ++
+					}
+				}
+				st.success = float64(succ) / float64(seeds)
+				st.meanMsgs = msgs / float64(seeds)
+				return st, nil
+			}
+
+			r := &Report{}
+			tb := trace.NewTable(
+				fmt.Sprintf("E20: async & crash kernel comparison (n = %d, ε = %.2f, %d seeds)", n, eps, seeds),
+				"scenario", "kernel", "success", "mean messages")
+			for _, sc := range scenarios {
+				ref, err := measure(sc, sim.KernelPerAgent)
+				if err != nil {
+					return nil, err
+				}
+				got, err := measure(sc, sim.KernelBatched)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRowValues(sc.name, "per-agent", ref.success, ref.meanMsgs)
+				tb.AddRowValues(sc.name, "batched", got.success, got.meanMsgs)
+				o.logf("E20: %s per-agent %.2f / batched %.2f success, msgs %.0f vs %.0f",
+					sc.name, ref.success, got.success, ref.meanMsgs, got.meanMsgs)
+
+				r.addCheck(sc.name+": scheduled rounds on both kernels",
+					ref.roundsMatch && got.roundsMatch,
+					fmt.Sprintf("%d rounds expected", sc.rounds))
+				r.addCheck(sc.name+": success rates agree",
+					math.Abs(ref.success-got.success) <= 1/float64(seeds)+1e-9,
+					fmt.Sprintf("per-agent %.3f vs batched %.3f", ref.success, got.success))
+				r.addCheck(sc.name+": message totals agree within 2%",
+					math.Abs(ref.meanMsgs-got.meanMsgs)/ref.meanMsgs < 0.02,
+					fmt.Sprintf("per-agent %.0f vs batched %.0f", ref.meanMsgs, got.meanMsgs))
+			}
+			r.Tables = append(r.Tables, tb)
+			return r, nil
+		},
+	}
+}

@@ -123,7 +123,26 @@ func Run(cfg Config) (Result, error) {
 	countB := n - countX - countY
 
 	var res Result
-	for round := 0; round < maxRounds; round++ {
+	uniform := func() (State, bool) {
+		if countB != 0 || (countX != 0 && countY != 0) {
+			return 0, false
+		}
+		if countX > 0 {
+			return X, true
+		}
+		return Y, true
+	}
+	// A noiseless initial configuration that is already uniform has
+	// converged at time zero — uniform blank-free states are absorbing, so
+	// charging a full parallel round of n interactions would misreport
+	// both counters for degenerate inputs. Under symbol noise a uniform
+	// configuration is transient (misreads recreate blanks), so the run
+	// proceeds.
+	if w, ok := uniform(); ok && cfg.SymbolNoise == 0 {
+		res.Converged = true
+		res.Winner = w
+	}
+	for round := 0; round < maxRounds && !res.Converged; round++ {
 		for step := 0; step < n; step++ {
 			u := r.Intn(n)
 			v := r.Intn(n - 1)
@@ -159,14 +178,9 @@ func Run(cfg Config) (Result, error) {
 			res.Interactions++
 		}
 		res.ParallelRounds = round + 1
-		if countB == 0 && (countX == 0 || countY == 0) {
+		if w, ok := uniform(); ok {
 			res.Converged = true
-			if countX > 0 {
-				res.Winner = X
-			} else {
-				res.Winner = Y
-			}
-			break
+			res.Winner = w
 		}
 	}
 	res.FinalX, res.FinalY, res.FinalBlank = countX, countY, countB

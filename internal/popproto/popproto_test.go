@@ -104,12 +104,27 @@ func TestAllBlankStaysBlank(t *testing.T) {
 }
 
 func TestUnanimousStartStaysPut(t *testing.T) {
+	// A noiseless uniform start is absorbing: it is converged at time
+	// zero, with no parallel round (and no interactions) charged.
 	res, err := Run(Config{N: 100, InitialX: 100, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Converged || res.Winner != X || res.ParallelRounds != 1 {
+	if !res.Converged || res.Winner != X || res.ParallelRounds != 0 || res.Interactions != 0 {
 		t.Fatalf("unanimous start: %+v", res)
+	}
+	if res.FinalX != 100 || res.FinalY != 0 || res.FinalBlank != 0 {
+		t.Fatalf("unanimous start mutated the counts: %+v", res)
+	}
+}
+
+func TestUnanimousYStartConvergesImmediately(t *testing.T) {
+	res, err := Run(Config{N: 64, InitialY: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Winner != Y || res.ParallelRounds != 0 || res.Interactions != 0 {
+		t.Fatalf("unanimous Y start: %+v", res)
 	}
 }
 

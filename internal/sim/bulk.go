@@ -21,6 +21,11 @@ package sim
 //     multinomial over cache-sized receiver buckets (a binomial draw per
 //     bucket) followed by in-bucket placement from masked bits, and
 //     delivers into protocol-owned accumulators with a branchless scan.
+//   - Crash plans (Config.Failures) run on the per-message path: the
+//     sender lists are filtered against the plan each round and crashed
+//     receivers are masked after collision resolution, with the same drop
+//     accounting as the per-agent path. The dense path stays gated off
+//     under failures.
 //
 // Every shortcut is exact in law; bulk_test.go and internal/core's
 // equivalence tests check both paths against each other statistically, and
@@ -91,6 +96,11 @@ type bulkState struct {
 	accR    []int32
 	accB    []channel.Bit
 
+	// Crash-fault scratch: sender lists filtered against the FailurePlan
+	// for the current round.
+	liveZeros []int32
+	liveOnes  []int32
+
 	// Dense path: packed inbox stamp(8)|ones(12)|count(12).
 	dStamp   uint32
 	dInbox   []uint32
@@ -129,14 +139,14 @@ func (b *bulkState) reset() {
 // bulk state. Called once per Run, after protocol Setup.
 func (e *Engine) selectKernel(p Protocol) (BulkProtocol, bool) {
 	bp, ok := p.(BulkProtocol)
-	capable := ok && bp.BulkEnabled() && e.cfg.Failures == nil && e.cfg.N < maxBulkN
+	capable := ok && bp.BulkEnabled() && e.cfg.N < maxBulkN
 	switch e.cfg.Kernel {
 	case KernelPerAgent:
 		return nil, false
 	case KernelBatched:
 		if !capable {
-			panic(fmt.Sprintf("sim: KernelBatched requires a bulk-capable protocol and config (protocol %q, bulk=%v, failures=%v, n=%d)",
-				p.Name(), ok, e.cfg.Failures != nil, e.cfg.N))
+			panic(fmt.Sprintf("sim: KernelBatched requires a bulk-capable protocol and config (protocol %q, bulk=%v, n=%d)",
+				p.Name(), ok, e.cfg.N))
 		}
 	default:
 		if !capable {
@@ -152,7 +162,10 @@ func (e *Engine) selectKernel(p Protocol) (BulkProtocol, bool) {
 	if uniform {
 		b.noiseThresh = channel.FlipThreshold53(un.UniformFlipProb())
 	}
-	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil
+	// Crash plans run on the per-message path: senders are filtered and
+	// crashed receivers masked there, while the dense kernel's aggregate
+	// placement has no per-agent hook to express either.
+	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil && e.cfg.Failures == nil
 	return bp, true
 }
 
@@ -160,6 +173,16 @@ func (e *Engine) selectKernel(p Protocol) (BulkProtocol, bool) {
 func (e *Engine) stepBulk(bp BulkProtocol) {
 	round := e.round
 	zeros, ones := bp.BulkSenders(round)
+	if f := e.cfg.Failures; f != nil {
+		// Crashed agents neither send nor count toward MessagesSent,
+		// exactly as on the per-agent path (the crash check there precedes
+		// the Send call). Protocols stay failure-agnostic: the cached
+		// sender lists are filtered per round on the engine side.
+		b := e.bulk
+		b.liveZeros = filterLive(b.liveZeros[:0], zeros, f, round)
+		b.liveOnes = filterLive(b.liveOnes[:0], ones, f, round)
+		zeros, ones = b.liveZeros, b.liveOnes
+	}
 	m := len(zeros) + len(ones)
 	e.sent += int64(m)
 	if m > 0 {
@@ -173,9 +196,11 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 }
 
 // stepPerMessage is the batched per-message path: exact for every Config
-// (self-message exclusion, drops, any channel) and every BulkProtocol
-// round. It differs from the per-agent path only in skipping non-senders
-// and batching noise and delivery.
+// (self-message exclusion, drops, crash plans, any channel) and every
+// BulkProtocol round. It differs from the per-agent path only in skipping
+// non-senders and batching noise and delivery; crashed senders are already
+// filtered out by stepBulk and crashed receivers are masked after
+// collision resolution.
 func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int) {
 	b := e.bulk
 	if b.pmInbox == nil {
@@ -225,15 +250,23 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 
 	// Resolve collisions: accept a one with probability ones/count. The
 	// draw happens on every collision, mixed bits or not, so the engine
-	// stream consumption depends only on the message pattern, never on
-	// bit values — matching the per-agent path's invariant that protocols
-	// with identical send patterns see identical engine randomness.
+	// stream consumption depends only on the message pattern and the
+	// failure plan, never on bit values — matching the per-agent path's
+	// invariant that protocols with identical send patterns see identical
+	// engine randomness.
+	f := e.cfg.Failures
 	b.accR = b.accR[:0]
 	b.accB = b.accB[:0]
 	for _, dst := range b.touched {
 		v := b.pmInbox[dst]
 		cnt := v & 0xffffff
 		on := v >> 24 & 0xffffff
+		if f != nil && f.Crashed(int(dst), round) {
+			// Crashed receiver: every arrival is lost — the per-agent path
+			// books cnt−1 collision losses plus one crash loss.
+			e.dropped += int64(cnt)
+			continue
+		}
 		e.accepted++
 		e.dropped += int64(cnt - 1)
 		var bit channel.Bit
@@ -247,6 +280,16 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 	}
 	channel.TransmitAll(e.cfg.Channel, b.accB, e.channelRNG)
 	bp.BulkDeliver(b.accR, b.accB, round)
+}
+
+// filterLive appends to dst the senders not crashed in round.
+func filterLive(dst, senders []int32, f FailurePlan, round int) []int32 {
+	for _, s := range senders {
+		if !f.Crashed(int(s), round) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
 }
 
 // stepDense is the aggregate kernel for exchangeable messages

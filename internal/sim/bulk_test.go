@@ -327,6 +327,86 @@ func TestBatchedMatchesPerAgentStatistically(t *testing.T) {
 	}
 }
 
+func TestBatchedCrashAtSemantics(t *testing.T) {
+	// Crash plans now run on the batched per-message path. Exact
+	// invariants shared with the per-agent path: crashed agents neither
+	// send (MessagesSent counts only live senders) nor receive (their
+	// accumulators stay empty), and accounting balances.
+	crashed := []int{3, 7, 100}
+	const n, rounds = 256, 80
+	plan := NewCrashAt(0, crashed...)
+	for _, kernel := range []Kernel{KernelPerAgent, KernelBatched} {
+		for _, self := range []bool{false, true} {
+			p := &bulkChatter{rounds: rounds}
+			res, err := Run(Config{
+				N: n, Channel: channel.Noiseless{}, Seed: 5,
+				Failures: plan, Kernel: kernel, AllowSelfMessages: self,
+			}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64((n - len(crashed)) * rounds); res.MessagesSent != want {
+				t.Fatalf("kernel=%v self=%v: sent %d, want %d", kernel, self, res.MessagesSent, want)
+			}
+			for _, a := range crashed {
+				if got := p.received(a); got != 0 {
+					t.Fatalf("kernel=%v self=%v: crashed agent %d received %d messages", kernel, self, a, got)
+				}
+			}
+			if res.MessagesAccepted+res.MessagesDropped != res.MessagesSent {
+				t.Fatalf("kernel=%v self=%v: conservation violated: %+v", kernel, self, res)
+			}
+		}
+	}
+}
+
+func TestBatchedMidRunCrashMatchesPerAgentStatistically(t *testing.T) {
+	// RandomCrashes kicking in mid-run: the sender filter and receiver
+	// mask change at the crash round. Across seeds the mean acceptance
+	// totals of the two kernels must agree.
+	const n, rounds, seeds = 256, 120, 12
+	meanAccepted := func(kernel Kernel, self bool) float64 {
+		var sum int64
+		for seed := uint64(0); seed < seeds; seed++ {
+			plan := NewRandomCrashes(n, 0.2, 40, rng.New(900+seed), 0)
+			res, err := Run(Config{
+				N: n, Channel: channel.FromEpsilon(0.3), Seed: seed,
+				Failures: plan, Kernel: kernel, AllowSelfMessages: self,
+			}, &bulkChatter{rounds: rounds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MessagesAccepted+res.MessagesDropped != res.MessagesSent {
+				t.Fatalf("kernel=%v seed %d: conservation violated", kernel, seed)
+			}
+			sum += res.MessagesAccepted
+		}
+		return float64(sum) / seeds
+	}
+	for _, self := range []bool{false, true} {
+		ref := meanAccepted(KernelPerAgent, self)
+		got := meanAccepted(KernelBatched, self)
+		if math.Abs(got-ref)/ref > 0.01 {
+			t.Fatalf("self=%v: batched accepted mean %v deviates from per-agent %v under crashes", self, got, ref)
+		}
+	}
+}
+
+func TestBatchedCrashDeterminism(t *testing.T) {
+	cfg := Config{
+		N: 200, Channel: channel.FromEpsilon(0.3), Seed: 31,
+		Failures: NewCrashAt(10, 1, 2, 3, 50, 51), Kernel: KernelBatched,
+	}
+	r1, err := Run(cfg, &bulkChatter{rounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Run(cfg, &bulkChatter{rounds: 50})
+	if r1 != r2 {
+		t.Fatalf("identical crash configs diverged:\n%+v\n%+v", r1, r2)
+	}
+}
+
 func TestDenseAcceptDrawExactlyUniform(t *testing.T) {
 	// Exhaustive check of the fused accept-one draw: over all 2048 low-bit
 	// patterns, the draws that survive Lemire rejection must map onto each

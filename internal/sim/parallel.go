@@ -18,10 +18,11 @@ type SeedRun struct {
 }
 
 // RunSeeds executes seeds independent runs of the configuration,
-// distributing them over workers goroutines (0 = GOMAXPROCS). Each run
-// gets a fresh protocol from factory and a Config whose Seed field is
-// replaced by the run's seed, so runs are exactly as reproducible as
-// serial Run calls. Results are returned in seed order.
+// distributing them over workers goroutines (0 = GOMAXPROCS). Run i in
+// [0, seeds) gets a fresh protocol from factory and the seed
+// cfg.Seed + i, so each run is exactly as reproducible as a serial Run
+// call at that seed and replication batches started from different base
+// seeds draw disjoint randomness. Results are returned in seed order.
 //
 // Every engine and protocol instance is confined to a single worker
 // goroutine; no simulation state is shared, so the protocols need no
@@ -67,10 +68,11 @@ func RunSeeds(cfg Config, factory func() Protocol, seeds, workers int) ([]SeedRu
 					}
 					engine = e
 				}
-				engine.Reset(uint64(i))
+				seed := cfg.Seed + uint64(i)
+				engine.Reset(seed)
 				proto := factory()
 				res := engine.Run(proto)
-				out[i] = SeedRun{Seed: uint64(i), Result: res, Protocol: proto}
+				out[i] = SeedRun{Seed: seed, Result: res, Protocol: proto}
 			}
 		}(w)
 	}

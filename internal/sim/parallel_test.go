@@ -35,6 +35,49 @@ func TestRunSeedsMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestRunSeedsDerivesFromBaseSeed(t *testing.T) {
+	// Regression: RunSeeds used to ignore Config.Seed entirely, so
+	// replication batches with different base seeds silently reused
+	// identical randomness. Run i must use seed cfg.Seed + i.
+	factory := func() Protocol { return &chatter{rounds: 30} }
+	cfg := Config{N: 64, Channel: channel.FromEpsilon(0.3), Seed: 1000}
+	const seeds = 4
+	runs, err := RunSeeds(cfg, factory, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if want := uint64(1000 + i); r.Seed != want {
+			t.Fatalf("run %d has seed %d, want %d", i, r.Seed, want)
+		}
+		serialCfg := cfg
+		serialCfg.Seed = r.Seed
+		want, err := Run(serialCfg, &chatter{rounds: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result != want {
+			t.Fatalf("seed %d: parallel %+v != serial %+v", r.Seed, r.Result, want)
+		}
+	}
+
+	zeroCfg := cfg
+	zeroCfg.Seed = 0
+	base0, err := RunSeeds(zeroCfg, factory, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range runs {
+		if runs[i].Result != base0[i].Result {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("base seeds 0 and 1000 produced identical replication batches")
+	}
+}
+
 func TestRunSeedsSingleWorker(t *testing.T) {
 	cfg := Config{N: 32, Channel: channel.Noiseless{}}
 	runs, err := RunSeeds(cfg, func() Protocol { return &chatter{rounds: 5} }, 3, 1)

@@ -170,8 +170,14 @@ func (r Result) AllCorrect(target channel.Bit) bool {
 // per arming: build one with NewEngine, call Run, read the Result, and
 // call Reset(seed) before any further Run. A second Run without Reset
 // panics — it would silently reuse stale counters and inbox stamps and
-// corrupt the Result. Mid-run state (per-agent inboxes and opinion
-// snapshots) is exposed to Observers.
+// corrupt the Result.
+//
+// Observers run after every executed round and may read the engine's
+// public accessors (N, Round, MessagesSent) and query the protocol (e.g.
+// Opinion). The per-round inboxes are engine-internal scratch under every
+// kernel — the per-agent path overwrites them each round and the batched
+// kernel bypasses them entirely — so no per-message state is observable
+// after a round ends.
 type Engine struct {
 	cfg Config
 
