@@ -1,0 +1,225 @@
+// Command bench measures the round kernels' throughput trajectory and
+// writes it to a JSON artifact (BENCH_kernel.json by default): the
+// ns/agent-round cost of the per-agent reference path, the single-worker
+// batched kernel and the sharded kernel at a ladder of population sizes.
+// CI runs it at reduced scale (-quick) on every push and uploads the
+// artifact, so the kernel cost trajectory accumulates across the
+// repository's history instead of living only in commit messages.
+//
+// The workload is the kernels' design point — every agent pushes a bit
+// each round (the shape of the protocol's Stage II) through a BSC — so
+// the numbers are comparable across kernels and scales. Rounds per cell
+// are derived from a fixed agent-round budget, keeping every cell's
+// wall-clock bounded regardless of n.
+//
+// Usage:
+//
+//	bench                          # full ladder: n = 10⁵, 10⁶, 10⁷
+//	bench -quick                   # CI scale: n = 10⁵, 10⁶, smaller budget
+//	bench -out BENCH_kernel.json -shards 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"breathe/internal/channel"
+	"breathe/internal/rng"
+	"breathe/internal/sim"
+)
+
+// chatter is the all-senders benchmark protocol: every agent sends its
+// parity bit every round, receptions accumulate in packed counters. It is
+// the same workload the checked-in kernel benchmarks use.
+type chatter struct {
+	rounds int
+	acc    []uint64
+	zeros  []int32
+	ones   []int32
+}
+
+func (c *chatter) Name() string { return "bench-chatter" }
+func (c *chatter) Setup(n int, _ *rng.RNG) {
+	c.acc = make([]uint64, n)
+	c.zeros = c.zeros[:0]
+	c.ones = c.ones[:0]
+	for a := 0; a < n; a++ {
+		if a%2 == 0 {
+			c.zeros = append(c.zeros, int32(a))
+		} else {
+			c.ones = append(c.ones, int32(a))
+		}
+	}
+}
+func (c *chatter) Send(a, round int) (channel.Bit, bool) { return channel.Bit(a % 2), true }
+func (c *chatter) Receive(a int, b channel.Bit, round int) {
+	c.acc[a] += uint64(b)<<32 + 1
+}
+func (c *chatter) EndRound(int)        {}
+func (c *chatter) Done(round int) bool { return round >= c.rounds }
+func (c *chatter) Opinion(a int) (channel.Bit, bool) {
+	total := c.acc[a] & (1<<32 - 1)
+	if total == 0 {
+		return 0, false
+	}
+	if 2*(c.acc[a]>>32) >= total {
+		return channel.One, true
+	}
+	return channel.Zero, true
+}
+
+func (c *chatter) BulkEnabled() bool                  { return true }
+func (c *chatter) BulkSenders(int) ([]int32, []int32) { return c.zeros, c.ones }
+func (c *chatter) BulkAccumulate(int) bool            { return true }
+func (c *chatter) BulkAccumulators() []uint64         { return c.acc }
+func (c *chatter) BulkDeliver(rs []int32, bs []channel.Bit, _ int) {
+	for i, a := range rs {
+		c.acc[a] += uint64(bs[i])<<32 + 1
+	}
+}
+
+// Cell is one measured (kernel, n) point.
+type Cell struct {
+	Kernel          string  `json:"kernel"`
+	N               int     `json:"n"`
+	Shards          int     `json:"shards"`
+	Rounds          int     `json:"rounds"`
+	Messages        int64   `json:"messages"`
+	ShardedRounds   int64   `json:"sharded_rounds"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	NsPerAgentRound float64 `json:"ns_per_agent_round"`
+	MMsgsPerSec     float64 `json:"mmsgs_per_sec"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Budget     int64  `json:"agent_round_budget"`
+	Cells      []Cell `json:"cells"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseNs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad population size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, log io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "BENCH_kernel.json", "output artifact path")
+		quick  = fs.Bool("quick", false, "reduced CI scale (smaller ladder and budget)")
+		nsFlag = fs.String("ns", "", "comma-separated population sizes (overrides the ladder)")
+		budget = fs.Int64("budget", 0, "agent-rounds per cell (0 = 2e8, quick 2e7)")
+		shards = fs.Int("shards", 0, "sharded-kernel workers (0 = all cores)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns := []int{100_000, 1_000_000, 10_000_000}
+	if *quick {
+		ns = []int{100_000, 1_000_000}
+	}
+	if *nsFlag != "" {
+		var err error
+		if ns, err = parseNs(*nsFlag); err != nil {
+			return err
+		}
+	}
+	b := *budget
+	if b == 0 {
+		b = 200_000_000
+		if *quick {
+			b = 20_000_000
+		}
+	}
+
+	rep := Report{
+		Schema:     "breathe-bench-kernel/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Budget:     b,
+	}
+	kernels := []struct {
+		name   string
+		kernel sim.Kernel
+		shards int
+	}{
+		{"per-agent", sim.KernelPerAgent, 0},
+		{"batched", sim.KernelBatched, 1},
+		{"sharded", sim.KernelBatched, *shards},
+	}
+	for _, n := range ns {
+		for _, k := range kernels {
+			// Equal work per cell: rounds × n ≈ the budget for every n, so
+			// ns/agent-round figures are comparable across the ladder. Only
+			// a floor is applied (populations larger than the budget still
+			// get a few rounds).
+			rounds := int(b / int64(n))
+			if rounds < 3 {
+				rounds = 3
+			}
+			e, err := sim.NewEngine(sim.Config{
+				N: n, Channel: channel.NewBSC(0.2), Seed: *seed,
+				AllowSelfMessages: true, Kernel: k.kernel,
+				Shards: k.shards, MaxRounds: 1 << 30,
+			})
+			if err != nil {
+				return err
+			}
+			p := &chatter{rounds: rounds}
+			start := time.Now()
+			res := e.Run(p)
+			wall := time.Since(start)
+			agentRounds := float64(n) * float64(res.Rounds)
+			cell := Cell{
+				Kernel:          k.name,
+				N:               n,
+				Shards:          k.shards,
+				Rounds:          res.Rounds,
+				Messages:        res.MessagesSent,
+				ShardedRounds:   e.ShardedRounds(),
+				WallSeconds:     wall.Seconds(),
+				NsPerAgentRound: float64(wall.Nanoseconds()) / agentRounds,
+				MMsgsPerSec:     float64(res.MessagesSent) / wall.Seconds() / 1e6,
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(log, "%-9s n=%-9d rounds=%-4d %7.2f ns/agent-round  %8.1f M msgs/s  sharded-rounds=%d\n",
+				cell.Kernel, n, cell.Rounds, cell.NsPerAgentRound, cell.MMsgsPerSec, cell.ShardedRounds)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "wrote %s (%d cells)\n", *out, len(rep.Cells))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchWritesWellFormedArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	var log bytes.Buffer
+	// A tiny ladder keeps the test fast while covering all three kernels.
+	if err := run([]string{"-ns", "5000,40000", "-budget", "200000", "-out", out}, &log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "wrote") {
+		t.Fatalf("log output missing summary line:\n%s", log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Schema != "breathe-bench-kernel/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.NsPerAgentRound <= 0 || c.Rounds < 3 || c.Messages <= 0 {
+			t.Fatalf("degenerate cell: %+v", c)
+		}
+		// n = 40000 decomposes into two virtual shards, so the batched and
+		// sharded kernels must report sharded rounds there.
+		if c.Kernel != "per-agent" && c.N == 40000 && c.ShardedRounds == 0 {
+			t.Fatalf("cell %+v executed no sharded rounds", c)
+		}
+	}
+}
+
+func TestBenchRejectsBadSizes(t *testing.T) {
+	var log bytes.Buffer
+	if err := run([]string{"-ns", "1,nope"}, &log); err == nil {
+		t.Fatal("expected an error for a bad -ns list")
+	}
+}

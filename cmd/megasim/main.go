@@ -19,7 +19,14 @@
 //	megasim -protocol async-offsets -n 100000    # §3.1, clocks offset by D
 //	megasim -protocol async-selfsync -n 100000   # §3.2, activation-phase sync
 //	megasim -crash 0.1 -n 1000000            # 10% initial crash faults
+//	megasim -n 10000000 -shards 8            # 10⁷ agents across 8 worker cores
 //	megasim -kernel per-agent -n 100000      # the reference path, for comparison
+//
+// Above ~32k agents the batched kernel's dense rounds run *sharded*: the
+// population is decomposed into virtual shards, the round's messages are
+// split across them by an exact multinomial draw and the shards execute
+// on -shards worker goroutines (0 = all cores). Results are bit-identical
+// for every -shards value — the flag is a pure performance knob.
 package main
 
 import (
@@ -58,6 +65,7 @@ func run(args []string) error {
 		self     = fs.Bool("self", true, "allow self-messages (classical push convention; enables aggregate recipient sampling)")
 		aBias    = fs.Float64("abias", 0.2, "consensus: majority-bias of the initial set")
 		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
+		shards   = fs.Int("shards", 0, "sharded-kernel workers (0 = all cores, 1 = serial; results are identical for every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,7 +138,7 @@ func run(args []string) error {
 	}
 	cfg := sim.Config{
 		N: *n, Channel: ch, Seed: *seed,
-		AllowSelfMessages: *self, Kernel: k,
+		AllowSelfMessages: *self, Kernel: k, Shards: *shards,
 	}
 	if *crash > 0 {
 		// Agent 0 (the broadcast source / first initial-set member) is
@@ -141,20 +149,21 @@ func run(args []string) error {
 			plan.NumCrashed(), *n, *crash)
 	}
 
-	fmt.Printf("scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v\n",
-		*protocol, *n, *eps, *seed, *kernel, *self)
+	fmt.Printf("scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v shards=%d\n",
+		*protocol, *n, *eps, *seed, *kernel, *self, *shards)
 	fmt.Printf("schedule:  %s\n", schedule)
 
 	start := time.Now()
-	res, err := sim.Run(cfg, proto)
+	engine, err := sim.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
+	res := engine.Run(proto)
 	wall := time.Since(start)
 
 	agentRounds := float64(*n) * float64(res.Rounds)
-	fmt.Printf("rounds:    %d   messages: %d (accepted %d, dropped %d)\n",
-		res.Rounds, res.MessagesSent, res.MessagesAccepted, res.MessagesDropped)
+	fmt.Printf("rounds:    %d (%d sharded)   messages: %d (accepted %d, dropped %d)\n",
+		res.Rounds, engine.ShardedRounds(), res.MessagesSent, res.MessagesAccepted, res.MessagesDropped)
 	fmt.Printf("opinions:  0:%d  1:%d  undecided:%d   correct: %.6f  unanimous: %v\n",
 		res.Opinions[0], res.Opinions[1], res.Undecided,
 		res.CorrectFraction(channel.One), res.AllCorrect(channel.One))

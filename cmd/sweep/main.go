@@ -9,6 +9,12 @@
 //
 //	sweep -ns 1024,4096,16384 -epss 0.2,0.3,0.45 -seeds 5 > results.csv
 //	sweep -ns 65536 -epss 0.3 -seeds 20 -workers 8 -seed 100
+//	sweep -ns 10000000 -epss 0.3 -seeds 1 -shards 0   # one huge cell, intra-run sharding
+//
+// -workers spreads a cell's seeds over cores; -shards additionally
+// parallelizes *within* each run (sim.Config.Shards). Sharding never
+// changes results, so the two knobs trade off freely: many seeds →
+// -workers, few huge runs → -shards.
 package main
 
 import (
@@ -65,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		seeds    = fs.Int("seeds", 5, "seeds per cell")
 		baseSeed = fs.Uint64("seed", 0, "base seed: a cell runs seeds seed..seed+seeds-1")
 		workers  = fs.Int("workers", 0, "worker goroutines per cell (0 = all cores)")
+		shards   = fs.Int("shards", 1, "intra-run sharded-kernel workers per engine (default 1: cells already parallelize across seeds; raise it for single-seed sweeps of huge n)")
 		format   = fs.String("format", "csv", "csv | table | markdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,7 +107,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			runs, err := sim.RunSeeds(
-				sim.Config{N: n, Channel: ch, Seed: *baseSeed},
+				sim.Config{N: n, Channel: ch, Seed: *baseSeed, Shards: *shards},
 				func() sim.Protocol {
 					p, err := core.NewBroadcast(params, channel.One)
 					if err != nil {

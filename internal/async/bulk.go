@@ -191,7 +191,11 @@ func (p *Protocol) BulkAccumulate(g int) bool {
 }
 
 // BulkAccumulators implements sim.BulkProtocol; nil (ModeSelfSync) routes
-// every delivery through BulkDeliver.
+// every delivery through BulkDeliver. For ModeKnownOffsets the engine's
+// sharded workers add into disjoint ranges of acc concurrently during
+// Stage II rounds, meeting at a barrier before EndRound — the clock
+// machinery never runs inside those rounds, so no synchronization is
+// needed here either.
 func (p *Protocol) BulkAccumulators() []uint64 {
 	if p.mode == ModeSelfSync {
 		return nil

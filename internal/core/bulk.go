@@ -80,5 +80,9 @@ func (p *Protocol) BulkAccumulate(round int) bool {
 	return p.curOK && p.curRef.Stage == StageII && !p.variant.PrefixSubset
 }
 
-// BulkAccumulators implements sim.BulkProtocol.
+// BulkAccumulators implements sim.BulkProtocol. In sharded rounds the
+// engine's workers add into disjoint contiguous ranges of acc
+// concurrently (each agent belongs to exactly one shard) and the engine
+// imposes a barrier before EndRound, so the protocol reads the merged
+// counters without synchronization of its own.
 func (p *Protocol) BulkAccumulators() []uint64 { return p.acc }

@@ -1,0 +1,55 @@
+package rng
+
+// MultinomialSplit draws an exact partition of total items across
+// len(sizes) buckets with weights sizes, writing bucket i's count to
+// out[i]: the result is distributed Multinomial(total; sizes/Σsizes).
+//
+// The sampler is the sequential conditional-binomial decomposition — the
+// same recipe the dense kernel applies inline to its receiver buckets:
+// walking the buckets in order, bucket i receives
+// Binomial(remaining items, sizes[i]/remaining weight), which conditions
+// the joint law exactly. A bucket whose size equals the entire remaining
+// weight (always the last bucket, and any bucket followed only by
+// zero-size ones) takes every remaining item without consuming a draw, so
+// a one-bucket split consumes nothing at all — the degenerate P = 1 case
+// is free and trivially deterministic.
+//
+// The simulator's sharded kernel uses this to split a round's message
+// count across the population's virtual shards from the master stream:
+// the per-shard counts depend only on (stream position, total, sizes),
+// never on how many workers later execute the shards.
+//
+// total must be non-negative, sizes non-empty with non-negative entries
+// summing to a positive weight, and len(out) == len(sizes).
+func (r *RNG) MultinomialSplit(total int, sizes []int, out []int) {
+	if total < 0 {
+		panic("rng: MultinomialSplit with negative total")
+	}
+	if len(sizes) == 0 || len(sizes) != len(out) {
+		panic("rng: MultinomialSplit with mismatched sizes/out")
+	}
+	weightLeft := 0
+	for _, s := range sizes {
+		if s < 0 {
+			panic("rng: MultinomialSplit with negative bucket size")
+		}
+		weightLeft += s
+	}
+	if weightLeft == 0 && total > 0 {
+		panic("rng: MultinomialSplit of items over zero total weight")
+	}
+	rem := total
+	for i, size := range sizes {
+		if size == weightLeft {
+			// The remaining weight is entirely this bucket's: every
+			// remaining item lands here with probability 1, no draw.
+			out[i] = rem
+			rem = 0
+		} else {
+			k := r.Binomial(rem, float64(size)/float64(weightLeft))
+			out[i] = k
+			rem -= k
+		}
+		weightLeft -= size
+	}
+}

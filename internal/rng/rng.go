@@ -33,6 +33,15 @@ func splitMix64(state *uint64) uint64 {
 // New returns a generator seeded deterministically from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place to exactly the state
+// New(seed) produces, without allocating. The simulator's sharded kernel
+// reseeds one resident generator per shard per round from the master
+// stream, so the per-round substreams cost no heap traffic.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -42,7 +51,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split returns a new generator whose stream is independent of the

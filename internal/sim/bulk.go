@@ -21,11 +21,14 @@ package sim
 //     multinomial over cache-sized receiver buckets (a binomial draw per
 //     bucket) followed by in-bucket placement from masked bits, and
 //     delivers into protocol-owned accumulators with a branchless scan.
-//   - Crash plans (Config.Failures) run on the per-message path: the
-//     sender lists are filtered against the plan each round and crashed
-//     receivers are masked after collision resolution, with the same drop
-//     accounting as the per-agent path. The dense path stays gated off
-//     under failures.
+//   - Crash plans (Config.Failures) run on every batched path: the sender
+//     lists are filtered against the plan each round and crashed receivers
+//     are masked — after collision resolution on the per-message path, in
+//     the resolve scan on the dense paths — with the same drop accounting
+//     as the per-agent path.
+//   - Above the sharding threshold (shard.go) the dense path splits the
+//     round across the population's virtual shards and executes them on
+//     worker goroutines; results are bit-identical for every worker count.
 //
 // Every shortcut is exact in law; bulk_test.go and internal/core's
 // equivalence tests check both paths against each other statistically, and
@@ -35,6 +38,7 @@ import (
 	"fmt"
 
 	"breathe/internal/channel"
+	"breathe/internal/rng"
 )
 
 // BulkProtocol is an optional extension of Protocol enabling the batched
@@ -67,15 +71,29 @@ type BulkProtocol interface {
 	// BulkAccumulators exposes the per-agent packed reception counters
 	// (ones in the high 32 bits, total in the low 32). May return nil if
 	// the protocol does not support accumulator delivery; the engine then
-	// always delivers through BulkDeliver.
+	// always delivers through BulkDeliver. In sharded rounds the engine's
+	// workers write disjoint contiguous ranges of the array concurrently
+	// (agent a is only ever touched by the shard owning a), so no protocol
+	// synchronization is needed.
 	BulkAccumulators() []uint64
 }
 
 const (
-	// maxBulkN bounds the population the packed per-message inbox can
-	// represent (24-bit arrival counters). Beyond it the engine falls
+	// pmFieldBits is the width of the per-message inbox's two arrival
+	// counters (ones and total). It bounds the population the packed word
+	// can represent: a round delivers at most n arrivals to one receiver,
+	// so both counters must hold up to n.
+	pmFieldBits = 28
+	// pmFieldMask extracts one counter field.
+	pmFieldMask = 1<<pmFieldBits - 1
+	// pmStampShift positions the 8-bit round stamp above the two counter
+	// fields (8 + 2×28 = 64).
+	pmStampShift = 2 * pmFieldBits
+	// maxBulkN bounds the population the batched kernel accepts: with
+	// n < 2²⁸ the packed counters cannot overflow even if every message
+	// of a round lands on a single receiver. Beyond it the engine falls
 	// back to the per-agent path.
-	maxBulkN = 1 << 24
+	maxBulkN = 1 << pmFieldBits
 	// denseMinMessages gates the dense kernel: below it the per-message
 	// path is at least as fast and the per-bucket sampling overhead is
 	// not worth amortizing.
@@ -89,7 +107,7 @@ const (
 // bulkState holds the batched kernel's reusable buffers. It is allocated
 // lazily on the first batched run of an engine and survives Reset.
 type bulkState struct {
-	// Per-message path: packed inbox stamp(16)|ones(24)|count(24).
+	// Per-message path: packed inbox stamp(8)|ones(28)|count(28).
 	pmStamp uint64
 	pmInbox []uint64
 	touched []int32
@@ -101,17 +119,45 @@ type bulkState struct {
 	liveZeros []int32
 	liveOnes  []int32
 
-	// Dense path: packed inbox stamp(8)|ones(12)|count(12).
-	dStamp   uint32
-	dInbox   []uint32
-	drawBuf  []uint64
-	spill    []denseSpill
-	deferred []int32
+	// Dense path: packed inbox stamp(8)|ones(12)|count(12), shared by the
+	// serial and sharded executions (shards own disjoint slot ranges).
+	dStamp uint32
+	dInbox []uint32
+	serial denseRun
+
+	// Sharded execution (shard.go): per-virtual-shard contexts, the
+	// per-round multinomial split scratch, and the resolved worker count.
+	shards  []denseRun
+	shardLo []int
+	sizes   []int
+	k0s     []int
+	k1s     []int
+	seeds   []uint64
+	workers int
 
 	// Per-run capabilities, refreshed by selectKernel.
 	accs        []uint64
 	noiseThresh uint64
 	denseOK     bool
+}
+
+// denseRun is one execution context of the dense aggregate kernel: its
+// random stream plus the per-round scratch the bucket loop needs. The
+// serial path owns a single context fed by the engine stream; the sharded
+// path owns one per virtual shard, each reseeded from the master stream
+// every round.
+type denseRun struct {
+	r        *rng.RNG
+	rngStore rng.RNG // backing storage for per-shard substreams
+	drawBuf  []uint64
+	spill    []denseSpill
+	deferred []int32
+	accepted int64
+	// Pad to 128 bytes so adjacent shard contexts in bulkState.shards do
+	// not share cache lines: every draw mutates rngStore, and false
+	// sharing between concurrently running shards would bleed away the
+	// multi-core speedup the sharded kernel exists for.
+	_ [8]byte
 }
 
 // denseSpill records arrivals beyond the packed 12-bit counter of a dense
@@ -131,8 +177,8 @@ func (b *bulkState) reset() {
 	for i := range b.dInbox {
 		b.dInbox[i] = 0
 	}
-	b.spill = b.spill[:0]
-	b.deferred = b.deferred[:0]
+	// The denseRun spill/deferred scratch needs no clearing here:
+	// runRange truncates both at the start of every call.
 }
 
 // selectKernel decides the execution path for this run and prepares the
@@ -162,10 +208,13 @@ func (e *Engine) selectKernel(p Protocol) (BulkProtocol, bool) {
 	if uniform {
 		b.noiseThresh = channel.FlipThreshold53(un.UniformFlipProb())
 	}
-	// Crash plans run on the per-message path: senders are filtered and
-	// crashed receivers masked there, while the dense kernel's aggregate
-	// placement has no per-agent hook to express either.
-	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil && e.cfg.Failures == nil
+	// Crash plans are dense-compatible: senders are filtered per round by
+	// stepBulk and crashed receivers are masked in the resolve scan, with
+	// the same accounting as the per-agent path. Self-message exclusion is
+	// not — aggregate placement has no per-message sender identity — so
+	// the dense paths require AllowSelfMessages.
+	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil
+	e.prepareShards()
 	return bp, true
 }
 
@@ -187,7 +236,14 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 	e.sent += int64(m)
 	if m > 0 {
 		if e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round) {
-			e.stepDense(len(zeros), len(ones))
+			// The sharded/serial choice depends only on (n, m), never on
+			// Config.Shards, so the draw schedule — and hence the result —
+			// is identical for every worker count.
+			if len(e.bulk.shards) >= 2 && m >= shardMinMessages {
+				e.stepSharded(len(zeros), len(ones), round)
+			} else {
+				e.stepDense(len(zeros), len(ones), round)
+			}
 		} else {
 			e.stepPerMessage(bp, zeros, ones, round)
 		}
@@ -208,13 +264,13 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 		b.touched = make([]int32, 0, e.cfg.N)
 	}
 	b.pmStamp++
-	if b.pmStamp == 1<<16 {
+	if b.pmStamp == 1<<(64-pmStampShift) {
 		for i := range b.pmInbox {
 			b.pmInbox[i] = 0
 		}
 		b.pmStamp = 1
 	}
-	stamp := b.pmStamp << 48
+	stamp := b.pmStamp << pmStampShift
 	b.touched = b.touched[:0]
 
 	n := uint32(e.cfg.N)
@@ -237,7 +293,7 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 				}
 			}
 			v := b.pmInbox[dst]
-			if v>>48 != b.pmStamp {
+			if v>>pmStampShift != b.pmStamp {
 				b.pmInbox[dst] = stamp | inc
 				b.touched = append(b.touched, int32(dst))
 			} else {
@@ -246,7 +302,7 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 		}
 	}
 	throw(zeros, 1)
-	throw(ones, 1<<24|1)
+	throw(ones, 1<<pmFieldBits|1)
 
 	// Resolve collisions: accept a one with probability ones/count. The
 	// draw happens on every collision, mixed bits or not, so the engine
@@ -259,8 +315,8 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 	b.accB = b.accB[:0]
 	for _, dst := range b.touched {
 		v := b.pmInbox[dst]
-		cnt := v & 0xffffff
-		on := v >> 24 & 0xffffff
+		cnt := v & pmFieldMask
+		on := v >> pmFieldBits & pmFieldMask
 		if f != nil && f.Crashed(int(dst), round) {
 			// Crashed receiver: every arrival is lost — the per-agent path
 			// books cnt−1 collision losses plus one crash loss.
@@ -292,7 +348,7 @@ func filterLive(dst, senders []int32, f FailurePlan, round int) []int32 {
 	return dst
 }
 
-// stepDense is the aggregate kernel for exchangeable messages
+// stepDense is the serial aggregate kernel for exchangeable messages
 // (AllowSelfMessages, uniform noise, accumulator delivery). Recipient
 // sampling collapses to an exact sequential multinomial: one binomial draw
 // per bit class per 8192-slot receiver bucket, then in-bucket placement
@@ -301,11 +357,29 @@ func filterLive(dst, senders []int32, f FailurePlan, round int) []int32 {
 // that writes straight into the protocol's accumulators. Everything is
 // exact in law; only the engine-stream draw schedule differs from the
 // other paths.
-func (e *Engine) stepDense(m0, m1 int) {
+func (e *Engine) stepDense(m0, m1, round int) {
 	b := e.bulk
-	n := e.cfg.N
+	m0, m1 = e.denseRoundBegin(m0, m1)
+	placed := m0 + m1
+
+	d := &b.serial
+	d.r = e.engineRNG
+	d.accepted = 0
+	d.runRange(e, 0, e.cfg.N, m0, m1, round)
+
+	e.denseRoundEnd(placed, d.accepted)
+}
+
+// denseRoundBegin is the dense round prologue shared by the serial and
+// sharded executions: advance the inbox stamp (clearing the inbox on the
+// 8-bit wrap) and thin the message counts by DropProb from the master
+// stream. The engine alternates between stepDense and stepSharded per
+// round on the same master-stream schedule, so keeping this in one place
+// is what keeps their draw schedules from drifting apart.
+func (e *Engine) denseRoundBegin(m0, m1 int) (int, int) {
+	b := e.bulk
 	if b.dInbox == nil {
-		b.dInbox = make([]uint32, n)
+		b.dInbox = make([]uint32, e.cfg.N)
 	}
 	b.dStamp++
 	if b.dStamp == 1<<8 {
@@ -314,66 +388,84 @@ func (e *Engine) stepDense(m0, m1 int) {
 		}
 		b.dStamp = 1
 	}
-	b.spill = b.spill[:0]
-	b.deferred = b.deferred[:0]
-
-	r := e.engineRNG
 	if q := e.cfg.DropProb; q > 0 {
+		r := e.engineRNG
 		d0 := r.Binomial(m0, q)
 		d1 := r.Binomial(m1, q)
 		e.dropped += int64(d0 + d1)
 		m0 -= d0
 		m1 -= d1
 	}
-	placed := m0 + m1
+	return m0, m1
+}
+
+// denseRoundEnd books a dense round's aggregate accounting: every placed
+// message that was not the accepted one of its slot is a collision loss
+// (including all arrivals at crashed receivers).
+func (e *Engine) denseRoundEnd(placed int, accepted int64) {
+	e.accepted += accepted
+	e.dropped += int64(placed) - accepted
+}
+
+// runRange executes the dense bucket loop over the slot range
+// [lo, lo+size), placing k0 zero-messages and k1 one-messages uniformly
+// into it and resolving every occupied slot into the protocol
+// accumulators. All randomness comes from d.r; all writes stay inside the
+// range (d's scratch, dInbox[lo:lo+size], accs[lo:lo+size]), which is what
+// lets the sharded kernel run disjoint ranges concurrently.
+func (d *denseRun) runRange(e *Engine, lo, size, k0, k1, round int) {
+	b := e.bulk
+	r := d.r
+	d.spill = d.spill[:0]
+	d.deferred = d.deferred[:0]
 
 	stamp := b.dStamp
 	thresh := b.noiseThresh
 	acc := b.accs
-	var acceptedSum int64
+	f := e.cfg.Failures
 
-	rem0, rem1 := m0, m1
-	slotsLeft := n
-	for lo := 0; lo < n; lo += denseWidth {
-		size := denseWidth
-		if lo+size > n {
-			size = n - lo
+	rem0, rem1 := k0, k1
+	slotsLeft := size
+	for blo := lo; blo < lo+size; blo += denseWidth {
+		bsize := denseWidth
+		if blo+bsize > lo+size {
+			bsize = lo + size - blo
 		}
-		var k0, k1 int
-		if size == slotsLeft {
-			k0, k1 = rem0, rem1
+		var c0, c1 int
+		if bsize == slotsLeft {
+			c0, c1 = rem0, rem1
 		} else {
-			pb := float64(size) / float64(slotsLeft)
-			k0 = r.Binomial(rem0, pb)
-			k1 = r.Binomial(rem1, pb)
+			pb := float64(bsize) / float64(slotsLeft)
+			c0 = r.Binomial(rem0, pb)
+			c1 = r.Binomial(rem1, pb)
 		}
-		rem0 -= k0
-		rem1 -= k1
-		slotsLeft -= size
+		rem0 -= c0
+		rem1 -= c1
+		slotsLeft -= bsize
 
 		// Pre-fill one batch of raw draws for the bucket — placement
 		// lanes first, then one draw per slot for the resolve scan — so
 		// the generator state stays in registers (rng.Fill) instead of
 		// paying a call per draw.
-		pow2 := size&(size-1) == 0
+		pow2 := bsize&(bsize-1) == 0
 		nd0, nd1 := 0, 0
 		if pow2 {
-			nd0, nd1 = (k0+3)/4, (k1+3)/4
+			nd0, nd1 = (c0+3)/4, (c1+3)/4
 		}
-		need := nd0 + nd1 + size
-		if cap(b.drawBuf) < need {
-			b.drawBuf = make([]uint64, need+denseWidth)
+		need := nd0 + nd1 + bsize
+		if cap(d.drawBuf) < need {
+			d.drawBuf = make([]uint64, need+denseWidth)
 		}
-		buf := b.drawBuf[:need]
+		buf := d.drawBuf[:need]
 		r.Fill(buf)
 
-		inbox := b.dInbox[lo : lo+size : lo+size]
+		inbox := b.dInbox[blo : blo+bsize : blo+bsize]
 		if pow2 {
-			e.densePlacePow2(lo, inbox, k0, 1, buf[:nd0])
-			e.densePlacePow2(lo, inbox, k1, 1<<12|1, buf[nd0:nd0+nd1])
+			d.placePow2(stamp, blo, inbox, c0, 1, buf[:nd0])
+			d.placePow2(stamp, blo, inbox, c1, 1<<12|1, buf[nd0:nd0+nd1])
 		} else {
-			e.densePlaceAny(lo, size, k0, 1)
-			e.densePlaceAny(lo, size, k1, 1<<12|1)
+			d.placeAny(stamp, blo, inbox, c0, 1)
+			d.placeAny(stamp, blo, inbox, c1, 1<<12|1)
 		}
 
 		// Branchless resolve: one pre-drawn word per slot regardless of
@@ -386,7 +478,8 @@ func (e *Engine) stepDense(m0, m1 int) {
 		// channel's Bernoulli flip.
 		rbuf := buf[nd0+nd1:]
 		rbuf = rbuf[:len(inbox)]
-		accSlice := acc[lo : lo+size : lo+size]
+		accSlice := acc[blo : blo+bsize : blo+bsize]
+		accepted := int64(0)
 		for i := range inbox {
 			v := inbox[i]
 			occ := uint64(0)
@@ -395,10 +488,18 @@ func (e *Engine) stepDense(m0, m1 int) {
 			}
 			cnt := uint64(v & 0xfff)
 			on := uint64(v >> 12 & 0xfff)
+			if occ == 1 && f != nil && f.Crashed(blo+i, round) {
+				// Crashed receiver: every arrival is lost. Masking the
+				// occupancy keeps the slot out of the accumulator write
+				// and the accepted count — the aggregate drop accounting
+				// then books all cnt arrivals as losses, exactly the
+				// per-agent path's cnt−1 collision + 1 crash losses.
+				occ = 0
+			}
 			if cnt >= 2048 && occ == 1 {
 				// Beyond the 11-bit Lemire range (and, at 0xfff, into the
 				// spill list): resolve with full-width arithmetic instead.
-				b.deferred = append(b.deferred, int32(lo+i))
+				d.deferred = append(d.deferred, int32(blo+i))
 				continue
 			}
 			x := rbuf[i]
@@ -407,7 +508,7 @@ func (e *Engine) stepDense(m0, m1 int) {
 				// Possible Lemire rejection (probability < cnt/2048):
 				// apply the full rejection rule to this draw, redrawing
 				// only if it genuinely fails.
-				x, prod = e.denseRedraw(x, prod, cnt)
+				x, prod = d.redraw(x, prod, cnt)
 			}
 			bit := uint64(0)
 			if prod>>11 < on {
@@ -417,28 +518,26 @@ func (e *Engine) stepDense(m0, m1 int) {
 				bit ^= 1
 			}
 			accSlice[i] += (bit<<32 | 1) * occ
-			acceptedSum += int64(occ)
+			accepted += int64(occ)
 		}
+		// One struct write per bucket, not per slot: d sits next to other
+		// shards' contexts and the scan must not bounce that line around.
+		d.accepted += accepted
 	}
 
-	for _, slot := range b.deferred {
-		e.denseResolveDeferred(slot)
-		acceptedSum++
+	for _, slot := range d.deferred {
+		d.resolveDeferred(b, slot)
+		d.accepted++
 	}
-	// Collision losses in aggregate: every placed message that was not the
-	// accepted one of its slot.
-	e.accepted += acceptedSum
-	e.dropped += int64(placed) - acceptedSum
 }
 
-// densePlacePow2 throws k messages of one bit uniformly into the
+// placePow2 throws k messages of one bit uniformly into the
 // power-of-two-sized slot range starting at lo, consuming four placements
 // per pre-drawn 64-bit word via masked 16-bit lanes. The stamp update is
 // branchless (the first-arrival branch would mispredict at typical
 // occupancies); the saturation branch is never taken in practice and
 // predicts perfectly.
-func (e *Engine) densePlacePow2(lo int, inbox []uint32, k int, inc uint32, draws []uint64) {
-	stamp := e.bulk.dStamp
+func (d *denseRun) placePow2(stamp uint32, lo int, inbox []uint32, k int, inc uint32, draws []uint64) {
 	st := stamp << 24
 	i := 0
 	for _, x := range draws {
@@ -459,7 +558,7 @@ func (e *Engine) densePlacePow2(lo int, inbox []uint32, k int, inc uint32, draws
 				// 12-bit arrival counter saturated: freeze the packed
 				// entry and divert the arrival to the exact spill list.
 				nv -= inc
-				e.denseSpillAdd(int32(lo+slot), inc>>12)
+				d.spillAdd(int32(lo+slot), inc>>12)
 			}
 			inbox[slot] = nv
 		}
@@ -467,16 +566,13 @@ func (e *Engine) densePlacePow2(lo int, inbox []uint32, k int, inc uint32, draws
 	}
 }
 
-// densePlaceAny is the general-size placement (the population's tail
-// bucket): one unbiased draw per placement.
-func (e *Engine) densePlaceAny(lo, size, k int, inc uint32) {
-	b := e.bulk
-	r := e.engineRNG
-	stamp := b.dStamp
+// placeAny is the general-size placement (a range's tail bucket): one
+// unbiased draw per placement.
+func (d *denseRun) placeAny(stamp uint32, lo int, inbox []uint32, k int, inc uint32) {
+	r := d.r
 	st := stamp << 24
-	inbox := b.dInbox[lo : lo+size : lo+size]
 	for i := 0; i < k; i++ {
-		slot := int(r.Uint32n(uint32(size)))
+		slot := int(r.Uint32n(uint32(len(inbox))))
 		v := inbox[slot]
 		m := uint32(0)
 		if v>>24 == stamp {
@@ -485,13 +581,13 @@ func (e *Engine) densePlaceAny(lo, size, k int, inc uint32) {
 		nv := (v&m | st&^m) + inc
 		if nv&0xfff == 0 {
 			nv -= inc
-			e.denseSpillAdd(int32(lo+slot), inc>>12)
+			d.spillAdd(int32(lo+slot), inc>>12)
 		}
 		inbox[slot] = nv
 	}
 }
 
-// denseRedraw completes the Lemire rejection rule for a collided slot's
+// redraw completes the Lemire rejection rule for a collided slot's
 // accept-one draw: value (u·cnt)>>11 is kept only when the low bits of the
 // product clear 2¹¹ mod cnt, which makes the result exactly uniform over
 // [0, cnt). The caller's draw is tested first — discarding it when it is
@@ -499,8 +595,8 @@ func (e *Engine) densePlaceAny(lo, size, k int, inc uint32) {
 // multiply-shift — and fresh draws are taken only on genuine rejection.
 // Returns the final raw draw (whose top 53 bits feed the noise flip) and
 // product.
-func (e *Engine) denseRedraw(x, prod, cnt uint64) (uint64, uint64) {
-	r := e.engineRNG
+func (d *denseRun) redraw(x, prod, cnt uint64) (uint64, uint64) {
+	r := d.r
 	reject := 2048 % cnt
 	for prod&2047 < reject {
 		x = r.Uint64()
@@ -509,35 +605,34 @@ func (e *Engine) denseRedraw(x, prod, cnt uint64) (uint64, uint64) {
 	return x, prod
 }
 
-func (e *Engine) denseSpillAdd(slot int32, bit uint32) {
-	b := e.bulk
-	for i := range b.spill {
-		if b.spill[i].slot == slot {
-			b.spill[i].count++
-			b.spill[i].ones += bit
+func (d *denseRun) spillAdd(slot int32, bit uint32) {
+	for i := range d.spill {
+		if d.spill[i].slot == slot {
+			d.spill[i].count++
+			d.spill[i].ones += bit
 			return
 		}
 	}
-	b.spill = append(b.spill, denseSpill{slot: slot, count: 1, ones: bit})
+	d.spill = append(d.spill, denseSpill{slot: slot, count: 1, ones: bit})
 }
 
-// denseResolveDeferred handles a slot whose arrival count outgrew the
-// 11-bit Lemire accept draw (cnt ≥ 2048) or saturated the packed counter
-// entirely (cnt == 0xfff, with the overflow in the spill list): merge the
-// packed prefix with any spill tail and resolve with full-width
-// arithmetic.
-func (e *Engine) denseResolveDeferred(slot int32) {
-	b := e.bulk
+// resolveDeferred handles a slot whose arrival count outgrew the 11-bit
+// Lemire accept draw (cnt ≥ 2048) or saturated the packed counter entirely
+// (cnt == 0xfff, with the overflow in the spill list): merge the packed
+// prefix with any spill tail and resolve with full-width arithmetic.
+// Crashed receivers are masked before deferral, so every deferred slot is
+// live.
+func (d *denseRun) resolveDeferred(b *bulkState, slot int32) {
 	v := b.dInbox[slot]
 	cnt := uint64(v & 0xfff)
 	on := uint64(v >> 12 & 0xfff)
-	for _, s := range b.spill {
+	for _, s := range d.spill {
 		if s.slot == slot {
 			cnt += uint64(s.count)
 			on += uint64(s.ones)
 		}
 	}
-	r := e.engineRNG
+	r := d.r
 	var bit uint64
 	switch {
 	case on == 0:

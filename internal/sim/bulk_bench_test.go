@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"breathe/internal/channel"
 )
@@ -44,6 +46,65 @@ func BenchmarkPerMessageRound(b *testing.B) {
 	res := e.Run(p)
 	b.StopTimer()
 	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}
+
+// BenchmarkShardedRound measures the sharded dense kernel on the same
+// million-agent all-senders workload as BenchmarkDenseRound, with the
+// worker count left at GOMAXPROCS.
+func BenchmarkShardedRound(b *testing.B) {
+	p := &bulkChatter{rounds: 1 << 30}
+	cfg := Config{
+		N: 1_000_000, Channel: channel.NewBSC(0.2), Seed: 1,
+		AllowSelfMessages: true, Kernel: KernelBatched, MaxRounds: 1 << 30,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.rounds = b.N
+	b.ResetTimer()
+	res := e.Run(p)
+	b.StopTimer()
+	if e.ShardedRounds() != int64(b.N) {
+		b.Fatalf("%d of %d rounds sharded", e.ShardedRounds(), b.N)
+	}
+	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}
+
+// BenchmarkShardedKernelSpeedup runs the million-agent all-senders
+// workload once with a single worker (the serial execution of the sharded
+// draw schedule — the single-core batched baseline) and once with
+// GOMAXPROCS workers, and reports the wall-clock ratio. The PR 3
+// acceptance bar is ≥ 3× on ≥ 4 cores; on fewer cores the ratio
+// degrades toward 1 and the benchmark only reports it.
+func BenchmarkShardedKernelSpeedup(b *testing.B) {
+	const n, rounds = 1_000_000, 40
+	run := func(shards int) float64 {
+		e, err := NewEngine(Config{
+			N: n, Channel: channel.NewBSC(0.2), Seed: 1,
+			AllowSelfMessages: true, Kernel: KernelBatched,
+			Shards: shards, MaxRounds: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := &bulkChatter{rounds: rounds}
+		start := time.Now()
+		e.Run(p)
+		wall := time.Since(start)
+		if e.ShardedRounds() != rounds {
+			b.Fatalf("shards=%d: %d of %d rounds sharded", shards, e.ShardedRounds(), rounds)
+		}
+		return float64(wall.Nanoseconds()) / (float64(n) * rounds)
+	}
+	for i := 0; i < b.N; i++ {
+		serialAR := run(1)
+		parallelAR := run(0)
+		b.ReportMetric(serialAR, "serial-ns/agent-round")
+		b.ReportMetric(parallelAR, "sharded-ns/agent-round")
+		b.ReportMetric(serialAR/parallelAR, "speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	}
 }
 
 // BenchmarkPerAgentRound measures the per-agent reference path on the same

@@ -419,13 +419,13 @@ func TestDenseAcceptDrawExactlyUniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.bulk = &bulkState{}
+	d := &denseRun{r: e.engineRNG}
 	for cnt := uint64(2); cnt <= 24; cnt++ {
 		counts := make([]int, cnt)
 		kept := 0
 		for u := uint64(0); u < 2048; u++ {
 			prod := u * cnt
-			x, outProd := e.denseRedraw(u, prod, cnt)
+			x, outProd := d.redraw(u, prod, cnt)
 			if x != u {
 				continue // genuinely rejected and redrawn
 			}
@@ -462,16 +462,17 @@ func TestDenseDeferredHandlesMidRangeCounts(t *testing.T) {
 		accs:        make([]uint64, 16),
 		noiseThresh: channel.FlipThreshold53(0.2),
 	}
+	d := &denseRun{r: e.engineRNG}
 	// Slot 3: 3000 arrivals, 1500 ones — mid-band, no spill entries.
 	e.bulk.dInbox[3] = 1<<24 | 1500<<12 | 3000
-	e.denseResolveDeferred(3)
+	d.resolveDeferred(e.bulk, 3)
 	if total := e.bulk.accs[3] & (1<<32 - 1); total != 1 {
 		t.Fatalf("deferred slot delivered %d messages, want 1", total)
 	}
 	// Slot 5: saturated packed counter plus spill tail.
 	e.bulk.dInbox[5] = 1<<24 | 2000<<12 | 0xfff
-	e.bulk.spill = append(e.bulk.spill, denseSpill{slot: 5, count: 7, ones: 3})
-	e.denseResolveDeferred(5)
+	d.spill = append(d.spill, denseSpill{slot: 5, count: 7, ones: 3})
+	d.resolveDeferred(e.bulk, 5)
 	if total := e.bulk.accs[5] & (1<<32 - 1); total != 1 {
 		t.Fatalf("saturated slot delivered %d messages, want 1", total)
 	}

@@ -27,6 +27,12 @@ type SeedRun struct {
 // Every engine and protocol instance is confined to a single worker
 // goroutine; no simulation state is shared, so the protocols need no
 // synchronization.
+//
+// RunSeeds parallelizes *across* seeds; cfg.Shards additionally
+// parallelizes *within* each run (the sharded kernel). Sharding never
+// changes results, but with workers > 1 the two multiply — leave
+// cfg.Shards at 1 for replication batches and reserve intra-run sharding
+// for few huge runs.
 func RunSeeds(cfg Config, factory func() Protocol, seeds, workers int) ([]SeedRun, error) {
 	if seeds < 1 {
 		return nil, fmt.Errorf("sim: RunSeeds with %d seeds", seeds)

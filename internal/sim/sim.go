@@ -51,6 +51,11 @@ type Protocol interface {
 // FailurePlan optionally injects crash faults: a crashed agent neither
 // sends nor receives from its crash round on. Used by robustness tests;
 // the paper's model itself has no crashes.
+//
+// Crashed must be safe for concurrent calls with distinct a: the sharded
+// kernel's workers query it from their goroutines. Plans that precompute
+// their crash set (both implementations in failures.go) satisfy this for
+// free.
 type FailurePlan interface {
 	// Crashed reports whether agent a is down in the given round.
 	Crashed(a, round int) bool
@@ -105,6 +110,16 @@ type Config struct {
 	Observer Observer
 	// Kernel selects the round-loop strategy (default KernelAuto).
 	Kernel Kernel
+	// Shards sets the worker-goroutine count of the intra-run sharded
+	// kernel: 0 means GOMAXPROCS, 1 forces serial execution. Results are
+	// bit-identical for every value — the population is decomposed into
+	// virtual shards as a function of N alone, the round's messages are
+	// split across them by an exact multinomial from the master stream and
+	// each shard runs its own deterministic substream; Shards only decides
+	// how many goroutines execute the shards (see shard.go). Callers that
+	// already parallelize across seeds (RunSeeds) typically set Shards: 1
+	// to avoid oversubscription.
+	Shards int
 }
 
 func (c Config) validate() error {
@@ -119,6 +134,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("sim: negative MaxRounds %d", c.MaxRounds)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sim: negative Shards %d", c.Shards)
 	}
 	return nil
 }
@@ -193,11 +211,12 @@ type Engine struct {
 
 	bulk *bulkState // lazily allocated batched-kernel buffers
 
-	started  bool
-	round    int
-	sent     int64
-	accepted int64
-	dropped  int64
+	started       bool
+	round         int
+	sent          int64
+	accepted      int64
+	dropped       int64
+	shardedRounds int64
 }
 
 // NewEngine validates cfg and prepares an engine.
@@ -237,6 +256,7 @@ func (e *Engine) Reset(seed uint64) {
 	e.started = false
 	e.round = 0
 	e.sent, e.accepted, e.dropped = 0, 0, 0
+	e.shardedRounds = 0
 }
 
 // N returns the population size.
@@ -248,6 +268,11 @@ func (e *Engine) Round() int { return e.round }
 
 // MessagesSent returns the running total of pushes.
 func (e *Engine) MessagesSent() int64 { return e.sent }
+
+// ShardedRounds reports how many rounds so far executed on the sharded
+// dense path (diagnostics and tests; the count is a pure function of the
+// run, independent of Config.Shards).
+func (e *Engine) ShardedRounds() int64 { return e.shardedRounds }
 
 // Run executes p until it reports Done or MaxRounds is hit. Calling Run a
 // second time without an intervening Reset panics: the engine's counters
