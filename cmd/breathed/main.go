@@ -1,0 +1,89 @@
+// Command breathed serves Flip-model simulations over HTTP: a worker pool
+// of reused engines behind a bounded admission queue, with a
+// content-addressed result cache in front (internal/service; endpoints in
+// service.NewHTTPHandler).
+//
+// Endpoints (JSON unless noted):
+//
+//	POST /v1/runs              submit an api.RunRequest; returns the job
+//	                           status envelope. 200 on a cache hit, 202
+//	                           when queued, 429 when the queue is full.
+//	                           The X-Breathe-Cache header says hit|miss.
+//	GET  /v1/runs/{id}         job status (state, wall time, response when
+//	                           done).
+//	GET  /v1/runs/{id}/result  the completed run's response, served from
+//	                           the stored canonical bytes — byte-identical
+//	                           between the computing run and every later
+//	                           cache hit. ?wait=1 blocks until terminal.
+//	GET  /v1/runs/{id}/stream  trajectory stream: NDJSON lines by default
+//	                           ({"point":…}* then {"done":…}), SSE events
+//	                           (point/done) when Accept: text/event-stream.
+//	                           Submit with trajectory_every > 0.
+//	POST /v1/runs/{id}/cancel  cancel queued or mid-run (honoured at the
+//	                           engine's next round barrier).
+//	GET  /v1/stats             pool and cache counters (service.Stats).
+//	GET  /healthz              liveness.
+//
+// A quick walkthrough:
+//
+//	breathed -addr :8344 &
+//	curl -s localhost:8344/v1/runs -d '{"n":100000,"seed":1}'          # miss
+//	curl -s localhost:8344/v1/runs -d '{"seed":1,"n":100000}'          # hit
+//	curl -s localhost:8344/v1/runs -d '{"n":4096,"trajectory_every":8}' \
+//	  | jq -r .id | xargs -I{} curl -sN localhost:8344/v1/runs/{}/stream
+//	curl -s localhost:8344/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"breathe/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("breathed", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8344", "listen address")
+		workers = fs.Int("workers", 0, "engine-pool workers (0 = all cores)")
+		queue   = fs.Int("queue", 256, "admission queue depth")
+		cache   = fs.Int("cache", 1024, "result cache entries")
+		maxN    = fs.Int("maxn", 1<<24, "largest admitted population (0 = engine limit)")
+	)
+	fs.Parse(os.Args[1:])
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxN:         *maxN,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHTTPHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	log.Printf("breathed listening on %s (workers=%d queue=%d cache=%d maxn=%d)",
+		*addr, svc.Stats().Workers, *queue, *cache, *maxN)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	svc.Close()
+}

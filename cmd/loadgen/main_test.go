@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"breathe/internal/service"
+)
+
+// TestEndToEnd runs the whole load generator — concurrent clients, the
+// cancel exercise and the byte-identity check — against a real service
+// mounted on httptest.
+func TestEndToEnd(t *testing.T) {
+	svc := service.New(service.Config{Workers: 4, QueueDepth: 256})
+	ts := httptest.NewServer(service.NewHTTPHandler(svc))
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	var out bytes.Buffer
+	g := &loadgen{
+		base:     ts.URL,
+		clients:  8,
+		requests: 4,
+		hitRatio: 0.5,
+		n:        512,
+		protocol: "broadcast",
+		cancels:  1,
+		verify:   true,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		out:      &out,
+	}
+	if err := g.run(); err != nil {
+		t.Fatalf("loadgen failed: %v\noutput:\n%s", err, out.String())
+	}
+	if g.errs.Load() != 0 {
+		t.Errorf("%d request errors", g.errs.Load())
+	}
+	report := out.String()
+	for _, want := range []string{"completed:", "latency:", "mid-run cancel", "cached bytes == fresh bytes"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	st := svc.Stats()
+	// 8×4 requests over a 16-run universe plus the two exercises: the
+	// cache/single-flight must have absorbed the rest.
+	if st.Executed >= st.Submitted {
+		t.Errorf("no dedup: executed %d of %d submitted", st.Executed, st.Submitted)
+	}
+	if st.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1 (the exercise)", st.Canceled)
+	}
+}
+
+// TestPercentile pins the nearest-rank behaviour.
+func TestPercentile(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(ds, 0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(ds, 0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentile(ds[:1], 0.99); got != 1*time.Millisecond {
+		t.Errorf("p99 of singleton = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("p50 of empty = %v", got)
+	}
+}
+
+// TestBadHitRatio rejects out-of-range ratios before touching the server.
+func TestBadHitRatio(t *testing.T) {
+	g := &loadgen{hitRatio: 1.0, client: http.DefaultClient, out: &bytes.Buffer{}}
+	if err := g.run(); err == nil {
+		t.Error("hit ratio 1.0 accepted")
+	}
+}

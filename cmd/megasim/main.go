@@ -21,25 +21,37 @@
 //	megasim -crash 0.1 -n 1000000            # 10% initial crash faults
 //	megasim -n 10000000 -shards 8            # 10⁷ agents across 8 worker cores
 //	megasim -kernel per-agent -n 100000      # the reference path, for comparison
+//	megasim -n 1000000 -json > result.json   # machine-readable api.RunResponse
+//
+// The scenario flags are exactly the fields of an api.RunRequest — the
+// same configuration the breathed service accepts — and -json emits the
+// service's api.RunResponse on stdout (the human-readable commentary
+// moves to stderr), so a batch result is directly comparable, hash and
+// all, with a served one.
 //
 // Above ~32k agents the batched kernel's dense rounds run *sharded*: the
 // population is decomposed into virtual shards, the round's messages are
 // split across them by an exact multinomial draw and the shards execute
 // on -shards worker goroutines (0 = all cores). Results are bit-identical
 // for every -shards value — the flag is a pure performance knob.
+//
+// The default -kernel auto falls back to the per-agent reference path
+// when the batched kernel cannot run (n ≥ 2²⁸); the "paths:" line (and
+// the response's paths field) reports which path actually executed every
+// round, so the fallback is visible. -kernel batched hard-fails instead
+// of falling back.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"time"
 
-	"breathe/internal/async"
+	"breathe/internal/api"
 	"breathe/internal/channel"
 	"breathe/internal/core"
-	"breathe/internal/rng"
 	"breathe/internal/sim"
 )
 
@@ -50,10 +62,6 @@ func main() {
 	}
 }
 
-// crashSeedSalt decorrelates the crash-plan randomness from the engine
-// streams that rng.New(seed) seeds.
-const crashSeedSalt = 0x9e3779b97f4a7c15
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("megasim", flag.ContinueOnError)
 	var (
@@ -61,116 +69,91 @@ func run(args []string) error {
 		n        = fs.Int("n", 1_000_000, "population size")
 		eps      = fs.Float64("eps", 0.3, "channel parameter ε (flip prob = 1/2−ε)")
 		seed     = fs.Uint64("seed", 1, "random seed")
-		kernel   = fs.String("kernel", "batched", "batched | per-agent")
+		kernel   = fs.String("kernel", "auto", "auto | batched | per-agent (auto falls back per-agent when batched cannot run)")
 		self     = fs.Bool("self", true, "allow self-messages (classical push convention; enables aggregate recipient sampling)")
 		aBias    = fs.Float64("abias", 0.2, "consensus: majority-bias of the initial set")
 		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
 		shards   = fs.Int("shards", 0, "sharded-kernel workers (0 = all cores, 1 = serial; results are identical for every value)")
+		jsonOut  = fs.Bool("json", false, "emit the api.RunResponse JSON on stdout (commentary on stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate the raw flags before api.Normalize resolves defaults: an
+	// explicit -eps 0 must be the old clean usage error, not "default to
+	// 0.3" (and the schedule commentary below derives from these values,
+	// so they must already be the ones the engine will run).
 	if *n < 2 || *eps <= 0 || *eps > 0.5 {
 		return fmt.Errorf("need n >= 2 and eps in (0, 0.5]")
 	}
-	if *crash < 0 || *crash >= 1 {
-		return fmt.Errorf("crash probability %v outside [0, 1)", *crash)
-	}
-	var k sim.Kernel
-	switch *kernel {
-	case "batched":
-		k = sim.KernelBatched
-	case "per-agent":
-		k = sim.KernelPerAgent
-	default:
-		return fmt.Errorf("unknown kernel %q", *kernel)
-	}
 
-	params := core.DefaultParams(*n, *eps)
-	logN := int(math.Ceil(math.Log2(float64(*n))))
-	var proto sim.Protocol
-	var schedule string
-	switch *protocol {
-	case "broadcast", "consensus":
-		var p *core.Protocol
-		var err error
-		if *protocol == "broadcast" {
-			p, err = core.NewBroadcast(params, channel.One)
-		} else {
-			sizeA := 4 * params.BetaS
-			if sizeA > *n/2 {
-				sizeA = *n / 2
-			}
-			correct := int(float64(sizeA) * (0.5 + *aBias))
-			p, err = core.NewConsensus(params, channel.One, correct, sizeA-correct)
-		}
-		if err != nil {
-			return err
-		}
-		proto = p
-		schedule = fmt.Sprintf("%d rounds (Stage I %d, Stage II %d)",
-			params.TotalRounds(), params.StageIRounds(), params.StageIIRounds())
-	case "async-offsets":
-		D := 2 * logN
-		p, err := async.NewKnownOffsets(params, channel.One, D)
-		if err != nil {
-			return err
-		}
-		proto = p
-		schedule = fmt.Sprintf("%d rounds (%d dilated phases, clock spread D = %d)",
-			p.TotalRounds(), p.NumPhases(), D)
-	case "async-selfsync":
-		L := 3 * logN
-		p, err := async.NewSelfSync(params, channel.One, L)
-		if err != nil {
-			return err
-		}
-		proto = p
-		schedule = fmt.Sprintf("%d rounds (%d dilated phases, activation prelude L = %d)",
-			p.TotalRounds(), p.NumPhases(), L)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+	req := api.RunRequest{
+		Protocol:       *protocol,
+		N:              *n,
+		Eps:            *eps,
+		Seed:           *seed,
+		NoSelfMessages: !*self,
+		ABias:          *aBias,
+		CrashProb:      *crash,
+		Kernel:         *kernel,
+		Shards:         *shards,
 	}
-
-	ch := channel.Channel(channel.Noiseless{})
-	if *eps < 0.5 {
-		ch = channel.FromEpsilon(*eps)
-	}
-	cfg := sim.Config{
-		N: *n, Channel: ch, Seed: *seed,
-		AllowSelfMessages: *self, Kernel: k, Shards: *shards,
-	}
-	if *crash > 0 {
-		// Agent 0 (the broadcast source / first initial-set member) is
-		// protected so the scenario stays winnable by definition.
-		plan := sim.NewRandomCrashes(*n, *crash, 0, rng.New(*seed^crashSeedSalt), 0)
-		cfg.Failures = plan
-		fmt.Printf("crashes:   %d of %d agents down from round 0 (p = %.3g)\n",
-			plan.NumCrashed(), *n, *crash)
-	}
-
-	fmt.Printf("scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v shards=%d\n",
-		*protocol, *n, *eps, *seed, *kernel, *self, *shards)
-	fmt.Printf("schedule:  %s\n", schedule)
-
-	start := time.Now()
-	engine, err := sim.NewEngine(cfg)
+	built, err := req.Build()
 	if err != nil {
 		return err
 	}
-	res := engine.Run(proto)
+
+	// Commentary goes to stderr under -json so stdout stays parseable.
+	out := os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+
+	params := core.DefaultParams(*n, *eps)
+	var schedule string
+	switch req.Canonical().Protocol {
+	case api.ProtoBroadcast, api.ProtoConsensus:
+		schedule = fmt.Sprintf("%d rounds (Stage I %d, Stage II %d)",
+			params.TotalRounds(), params.StageIRounds(), params.StageIIRounds())
+	case api.ProtoAsyncOffsets:
+		schedule = fmt.Sprintf("%d rounds (clock spread D = %d)", built.ScheduleRounds, built.OffsetSpread)
+	case api.ProtoAsyncSelfSync:
+		schedule = fmt.Sprintf("%d rounds (activation prelude L = %d)", built.ScheduleRounds, built.ActivationPrelude)
+	}
+	if built.Crashed > 0 {
+		fmt.Fprintf(out, "crashes:   %d of %d agents down from round 0 (p = %.3g)\n",
+			built.Crashed, *n, *crash)
+	}
+	fmt.Fprintf(out, "scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v shards=%d\n",
+		*protocol, *n, *eps, *seed, *kernel, *self, *shards)
+	fmt.Fprintf(out, "schedule:  %s\n", schedule)
+
+	start := time.Now()
+	engine, err := sim.NewEngine(built.Config)
+	if err != nil {
+		return err
+	}
+	res := engine.Run(built.NewProtocol())
 	wall := time.Since(start)
 
 	agentRounds := float64(*n) * float64(res.Rounds)
-	fmt.Printf("rounds:    %d (%d sharded)   messages: %d (accepted %d, dropped %d)\n",
-		res.Rounds, engine.ShardedRounds(), res.MessagesSent, res.MessagesAccepted, res.MessagesDropped)
-	fmt.Printf("opinions:  0:%d  1:%d  undecided:%d   correct: %.6f  unanimous: %v\n",
+	fmt.Fprintf(out, "rounds:    %d   messages: %d (accepted %d, dropped %d)\n",
+		res.Rounds, res.MessagesSent, res.MessagesAccepted, res.MessagesDropped)
+	fmt.Fprintf(out, "paths:     %s (primary %s)\n", res.Paths, res.Paths.Primary())
+	fmt.Fprintf(out, "opinions:  0:%d  1:%d  undecided:%d   correct: %.6f  unanimous: %v\n",
 		res.Opinions[0], res.Opinions[1], res.Undecided,
 		res.CorrectFraction(channel.One), res.AllCorrect(channel.One))
-	fmt.Printf("wall:      %.2fs   %.2f ns/agent-round   %.1f M msgs/s   %.1f M agent-rounds/s\n",
+	fmt.Fprintf(out, "wall:      %.2fs   %.2f ns/agent-round   %.1f M msgs/s   %.1f M agent-rounds/s\n",
 		wall.Seconds(),
 		float64(wall.Nanoseconds())/agentRounds,
 		float64(res.MessagesSent)/wall.Seconds()/1e6,
 		agentRounds/wall.Seconds()/1e6)
+
+	if *jsonOut {
+		resp := api.NewResponse(req, res, built.Crashed)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
 	return nil
 }

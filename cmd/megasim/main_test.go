@@ -52,6 +52,16 @@ func TestRunCrashFaults(t *testing.T) {
 	}
 }
 
+func TestRunJSONOutput(t *testing.T) {
+	// -json emits the api.RunResponse on stdout; the run must succeed on
+	// every protocol that the service also serves.
+	for _, proto := range []string{"broadcast", "consensus"} {
+		if err := run([]string{"-protocol", proto, "-n", "2048", "-seed", "3", "-json"}); err != nil {
+			t.Fatalf("%s -json: %v", proto, err)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-n", "1"},

@@ -1,0 +1,424 @@
+// Package api defines the request/response types of the breathed
+// simulation service and the canonical config hash that keys its
+// content-addressed result cache.
+//
+// Every simulation in this repository is a pure function of
+// (configuration, seed), so a completed run is cacheable forever under a
+// key derived from its semantic configuration alone. The contract here is
+// strict: two requests that describe the same run must hash identically
+// regardless of JSON field order, default elision, or pure performance
+// knobs (worker counts never change results — the sharded kernel is
+// bit-identical for every Config.Shards). Conversely anything that can
+// change a single output bit — including the kernel selection, whose
+// paths are equivalent in law but not draw-for-draw — is part of the
+// hash.
+//
+// The same types serve as the machine-readable output format of
+// cmd/megasim (-json), so batch and service results are directly
+// comparable.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"breathe/internal/async"
+	"breathe/internal/channel"
+	"breathe/internal/core"
+	"breathe/internal/rng"
+	"breathe/internal/sim"
+)
+
+// Protocol names accepted by RunRequest.Protocol.
+const (
+	ProtoBroadcast     = "broadcast"
+	ProtoConsensus     = "consensus"
+	ProtoAsyncOffsets  = "async-offsets"
+	ProtoAsyncSelfSync = "async-selfsync"
+)
+
+// Kernel names accepted by RunRequest.Kernel.
+const (
+	KernelAuto     = "auto"
+	KernelBatched  = "batched"
+	KernelPerAgent = "per-agent"
+)
+
+// crashSeedSalt decorrelates the crash-plan randomness from the engine
+// streams that rng.New(seed) seeds (same constant as cmd/megasim, so a
+// service run with a crash plan reproduces the megasim scenario exactly).
+const crashSeedSalt = 0x9e3779b97f4a7c15
+
+// RunRequest describes one simulation run. The zero value of every
+// optional field means "default"; Normalize resolves the defaults so that
+// equal runs compare (and hash) equal.
+type RunRequest struct {
+	// Protocol selects the scenario: broadcast | consensus |
+	// async-offsets | async-selfsync. Default broadcast.
+	Protocol string `json:"protocol,omitempty"`
+	// N is the population size (required, >= 2).
+	N int `json:"n"`
+	// Eps is the channel parameter ε ∈ (0, 0.5]: bits flip with
+	// probability 1/2 − ε (0.5 = noiseless). Default 0.3.
+	Eps float64 `json:"eps,omitempty"`
+	// Seed fixes all randomness of the run.
+	Seed uint64 `json:"seed"`
+	// MaxRounds caps execution (0 = engine default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// NoSelfMessages switches to the thesis model's self-exclusion
+	// convention. The default (false) is the classical push convention,
+	// which enables the dense aggregate kernel.
+	NoSelfMessages bool `json:"no_self_messages,omitempty"`
+	// DropProb is the per-message loss probability in [0, 1).
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// ABias is the consensus initial set's majority bias in [0, 0.5];
+	// 0 means a balanced initial set (cmd/megasim's -abias flag defaults
+	// to 0.2 instead). Ignored — and canonicalized to 0 — for the other
+	// protocols.
+	ABias float64 `json:"abias,omitempty"`
+	// CrashProb crashes each agent (except agent 0, which is protected so
+	// the scenario stays winnable) with this probability at CrashRound.
+	CrashProb float64 `json:"crash_prob,omitempty"`
+	// CrashRound is the round the crash plan takes effect (default 0).
+	CrashRound int `json:"crash_round,omitempty"`
+	// Kernel selects the execution strategy: auto | batched | per-agent.
+	// Default auto. Part of the hash: the kernels agree in law, not bit
+	// for bit.
+	Kernel string `json:"kernel,omitempty"`
+
+	// Shards is the sharded kernel's worker count (0 = all cores). A pure
+	// performance knob — results are bit-identical for every value — so it
+	// is excluded from the hash and from the canonical request.
+	Shards int `json:"shards,omitempty"`
+	// TrajectoryEvery streams/records one trajectory point every this
+	// many rounds (0 = no trajectory). Observers draw nothing from any
+	// RNG stream, so this cannot change the result; excluded from the
+	// hash and from the canonical request.
+	TrajectoryEvery int `json:"trajectory_every,omitempty"`
+}
+
+// Normalize resolves defaults in place so that requests meaning the same
+// run compare equal field by field. Call before Validate or Hash.
+func (r *RunRequest) Normalize() {
+	r.Protocol = strings.ToLower(strings.TrimSpace(r.Protocol))
+	if r.Protocol == "" {
+		r.Protocol = ProtoBroadcast
+	}
+	r.Kernel = strings.ToLower(strings.TrimSpace(r.Kernel))
+	if r.Kernel == "" {
+		r.Kernel = KernelAuto
+	}
+	if r.Eps == 0 {
+		r.Eps = 0.3
+	}
+	if r.MaxRounds == 0 {
+		// "Unset" and "explicitly the engine default" are the same run
+		// and must share a hash.
+		r.MaxRounds = sim.DefaultMaxRounds
+	}
+	if r.Protocol != ProtoConsensus {
+		r.ABias = 0
+	}
+	if r.CrashProb == 0 {
+		r.CrashRound = 0
+	}
+}
+
+// Validate checks a normalized request strictly, returning the first
+// problem found. The limits are semantic (what the engine supports), not
+// capacity limits — admission control is the service's concern.
+func (r RunRequest) Validate() error {
+	switch r.Protocol {
+	case ProtoBroadcast, ProtoConsensus, ProtoAsyncOffsets, ProtoAsyncSelfSync:
+	default:
+		return fmt.Errorf("api: unknown protocol %q", r.Protocol)
+	}
+	switch r.Kernel {
+	case KernelAuto, KernelBatched, KernelPerAgent:
+	default:
+		return fmt.Errorf("api: unknown kernel %q", r.Kernel)
+	}
+	if r.N < 2 {
+		return fmt.Errorf("api: population size %d < 2", r.N)
+	}
+	if r.Kernel == KernelBatched && r.N >= sim.MaxBatchedN {
+		// KernelBatched refuses to fall back; past the packed-counter
+		// limit the engine would panic. Reject at admission instead.
+		return fmt.Errorf("api: kernel %q supports n < %d (got %d); use kernel auto or per-agent",
+			KernelBatched, sim.MaxBatchedN, r.N)
+	}
+	if r.Eps <= 0 || r.Eps > 0.5 {
+		return fmt.Errorf("api: eps %v outside (0, 0.5]", r.Eps)
+	}
+	if r.MaxRounds < 0 {
+		return fmt.Errorf("api: negative max_rounds %d", r.MaxRounds)
+	}
+	if r.DropProb < 0 || r.DropProb >= 1 {
+		return fmt.Errorf("api: drop_prob %v outside [0, 1)", r.DropProb)
+	}
+	if r.ABias < 0 || r.ABias > 0.5 {
+		return fmt.Errorf("api: abias %v outside [0, 0.5]", r.ABias)
+	}
+	if r.CrashProb < 0 || r.CrashProb >= 1 {
+		return fmt.Errorf("api: crash_prob %v outside [0, 1)", r.CrashProb)
+	}
+	if r.CrashRound < 0 {
+		return fmt.Errorf("api: negative crash_round %d", r.CrashRound)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("api: negative shards %d", r.Shards)
+	}
+	if r.TrajectoryEvery < 0 {
+		return fmt.Errorf("api: negative trajectory_every %d", r.TrajectoryEvery)
+	}
+	return nil
+}
+
+// Canonical returns the request reduced to its semantic content: defaults
+// resolved and the pure performance knobs zeroed. Two requests describe
+// the same run — and may share a cache entry byte for byte — iff their
+// Canonical forms are equal. The canonical form is what a RunResponse
+// embeds, so a cached response never leaks the perf knobs of whichever
+// request happened to compute it.
+func (r RunRequest) Canonical() RunRequest {
+	r.Normalize()
+	r.Shards = 0
+	r.TrajectoryEvery = 0
+	return r
+}
+
+// Hash returns the content address of the run this request describes: a
+// hex SHA-256 over a fixed-order serialization of the canonical request.
+// JSON field order and default elision cannot affect it (the canonical
+// struct, not the wire form, is hashed), and perf knobs are excluded.
+func (r RunRequest) Hash() string {
+	c := r.Canonical()
+	var b strings.Builder
+	b.Grow(256)
+	fmt.Fprintf(&b, "breathe-run/v1\nprotocol=%s\nn=%d\neps=%s\nseed=%d\nmax_rounds=%d\nno_self=%t\ndrop=%s\nabias=%s\ncrash=%s\ncrash_round=%d\nkernel=%s\n",
+		c.Protocol, c.N, canonFloat(c.Eps), c.Seed, c.MaxRounds, c.NoSelfMessages,
+		canonFloat(c.DropProb), canonFloat(c.ABias), canonFloat(c.CrashProb),
+		c.CrashRound, c.Kernel)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// canonFloat renders a float64 in its shortest round-trip form, so every
+// distinct value has exactly one serialization.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Run is a fully built run: the engine configuration, a factory producing
+// a fresh protocol instance per execution (engines are pooled and reused;
+// protocol state is not), and the run's derived metadata.
+type Run struct {
+	// Config is the engine configuration (Observer and Cancel unset; the
+	// executor installs its own hooks).
+	Config sim.Config
+	// NewProtocol returns a fresh protocol instance for one execution.
+	NewProtocol func() sim.Protocol
+	// Crashed is the size of the crash set (0 without a crash plan).
+	Crashed int
+	// ScheduleRounds is the protocol's nominal total schedule length.
+	ScheduleRounds int
+	// OffsetSpread is the async-offsets clock spread D (0 otherwise).
+	OffsetSpread int
+	// ActivationPrelude is the self-sync prelude length L (0 otherwise).
+	ActivationPrelude int
+}
+
+// Build compiles a normalized, validated request into a Run. The mapping
+// mirrors cmd/megasim: DefaultParams(n, eps), target opinion One, the
+// consensus initial set sized 4·β_s with the requested majority bias, and
+// async spreads D = 2·⌈log₂ n⌉ / L = 3·⌈log₂ n⌉.
+func (r RunRequest) Build() (*Run, error) {
+	r.Normalize()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	params := core.DefaultParams(r.N, r.Eps)
+	logN := ceilLog2(r.N)
+
+	var factory func() (sim.Protocol, error)
+	scheduleRounds, offsetSpread, prelude := 0, 0, 0
+	switch r.Protocol {
+	case ProtoBroadcast:
+		factory = func() (sim.Protocol, error) { return core.NewBroadcast(params, channel.One) }
+		scheduleRounds = params.TotalRounds()
+	case ProtoConsensus:
+		sizeA := 4 * params.BetaS
+		if sizeA > r.N/2 {
+			sizeA = r.N / 2
+		}
+		correct := int(float64(sizeA) * (0.5 + r.ABias))
+		factory = func() (sim.Protocol, error) {
+			return core.NewConsensus(params, channel.One, correct, sizeA-correct)
+		}
+		scheduleRounds = params.TotalRounds()
+	case ProtoAsyncOffsets:
+		D := 2 * logN
+		offsetSpread = D
+		factory = func() (sim.Protocol, error) { return async.NewKnownOffsets(params, channel.One, D) }
+	case ProtoAsyncSelfSync:
+		L := 3 * logN
+		prelude = L
+		factory = func() (sim.Protocol, error) { return async.NewSelfSync(params, channel.One, L) }
+	}
+	// Fail construction errors now, once, instead of inside a pool worker.
+	probe, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	if scheduleRounds == 0 {
+		type scheduler interface{ TotalRounds() int }
+		if s, ok := probe.(scheduler); ok {
+			scheduleRounds = s.TotalRounds()
+		}
+	}
+
+	ch := channel.Channel(channel.Noiseless{})
+	if r.Eps < 0.5 {
+		ch = channel.FromEpsilon(r.Eps)
+	}
+	cfg := sim.Config{
+		N:                 r.N,
+		Channel:           ch,
+		Seed:              r.Seed,
+		MaxRounds:         r.MaxRounds,
+		AllowSelfMessages: !r.NoSelfMessages,
+		DropProb:          r.DropProb,
+		Shards:            r.Shards,
+	}
+	switch r.Kernel {
+	case KernelBatched:
+		cfg.Kernel = sim.KernelBatched
+	case KernelPerAgent:
+		cfg.Kernel = sim.KernelPerAgent
+	}
+
+	crashed := 0
+	if r.CrashProb > 0 {
+		// The plan is a pure function of (n, crash_prob, crash_round,
+		// seed) — agent 0 protected — so cached and fresh executions of
+		// the same request share it exactly.
+		plan := sim.NewRandomCrashes(r.N, r.CrashProb, r.CrashRound,
+			rng.New(r.Seed^crashSeedSalt), 0)
+		cfg.Failures = plan
+		crashed = plan.NumCrashed()
+	}
+
+	run := &Run{
+		Config:            cfg,
+		Crashed:           crashed,
+		ScheduleRounds:    scheduleRounds,
+		OffsetSpread:      offsetSpread,
+		ActivationPrelude: prelude,
+	}
+	first := probe
+	run.NewProtocol = func() sim.Protocol {
+		if p := first; p != nil {
+			first = nil
+			return p
+		}
+		p, err := factory()
+		if err != nil {
+			// The identical construction succeeded for the probe;
+			// constructors are deterministic in their arguments.
+			panic(fmt.Sprintf("api: protocol factory failed after probe: %v", err))
+		}
+		return p
+	}
+	return run, nil
+}
+
+// ceilLog2 returns ⌈log₂ n⌉ for n >= 2.
+func ceilLog2(n int) int {
+	l, p := 0, 1
+	for p < n {
+		p <<= 1
+		l++
+	}
+	return l
+}
+
+// TrajectoryPoint is one streamed progress sample: the population state
+// after round Round.
+type TrajectoryPoint struct {
+	// Round is the executed round the sample follows.
+	Round int `json:"round"`
+	// Correct is the number of agents holding the target opinion.
+	Correct int `json:"correct"`
+	// Decided is the number of agents holding any opinion.
+	Decided int `json:"decided"`
+	// Sent is the cumulative message count.
+	Sent int64 `json:"sent"`
+}
+
+// RunResponse is the result of a completed run. It is a pure function of
+// the canonical request — deliberately free of timestamps, durations and
+// perf knobs — which is what lets the cache serve stored responses byte
+// for byte. Timing and cache status travel out of band (job metadata,
+// HTTP headers).
+type RunResponse struct {
+	// Request is the canonical form of the request that describes this
+	// run (defaults resolved, perf knobs zeroed).
+	Request RunRequest `json:"request"`
+	// Hash is the run's content address, Request.Hash().
+	Hash string `json:"hash"`
+	// Protocol is the protocol implementation's self-reported name.
+	Protocol string `json:"protocol_name"`
+	// Rounds is the number of executed rounds.
+	Rounds int `json:"rounds"`
+	// Paths breaks Rounds down by the kernel path that executed them —
+	// the fallback detector: a request that expected the batched kernel
+	// but ran per-agent shows up here, not in a profile.
+	Paths sim.PathRounds `json:"paths"`
+	// PrimaryPath names the dominant non-quiet path.
+	PrimaryPath string `json:"primary_path"`
+	// MessagesSent / MessagesAccepted / MessagesDropped are the run's
+	// message totals.
+	MessagesSent     int64 `json:"messages_sent"`
+	MessagesAccepted int64 `json:"messages_accepted"`
+	MessagesDropped  int64 `json:"messages_dropped"`
+	// Truncated reports that MaxRounds was reached before termination.
+	Truncated bool `json:"truncated,omitempty"`
+	// Canceled reports a run aborted at a round barrier. Canceled
+	// responses are never cached.
+	Canceled bool `json:"canceled,omitempty"`
+	// Opinions counts final opinions; Undecided the agents without one.
+	Opinions  [2]int `json:"opinions"`
+	Undecided int    `json:"undecided,omitempty"`
+	// CorrectFraction is the fraction holding the target opinion (One).
+	CorrectFraction float64 `json:"correct_fraction"`
+	// Unanimous reports whether every agent decided on the target.
+	Unanimous bool `json:"unanimous"`
+	// Crashed is the size of the crash plan's crash set.
+	Crashed int `json:"crashed,omitempty"`
+}
+
+// NewResponse assembles the response for a completed run.
+func NewResponse(req RunRequest, res sim.Result, crashed int) RunResponse {
+	c := req.Canonical()
+	return RunResponse{
+		Request:          c,
+		Hash:             c.Hash(),
+		Protocol:         res.Protocol,
+		Rounds:           res.Rounds,
+		Paths:            res.Paths,
+		PrimaryPath:      res.Paths.Primary(),
+		MessagesSent:     res.MessagesSent,
+		MessagesAccepted: res.MessagesAccepted,
+		MessagesDropped:  res.MessagesDropped,
+		Truncated:        res.Truncated,
+		Canceled:         res.Canceled,
+		Opinions:         res.Opinions,
+		Undecided:        res.Undecided,
+		CorrectFraction:  res.CorrectFraction(channel.One),
+		Unanimous:        res.AllCorrect(channel.One),
+		Crashed:          crashed,
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"breathe/internal/api"
+)
+
+// cacheEntry is one content-addressed result: the response, its canonical
+// serialization (served byte for byte on every hit), and the recorded
+// trajectory when the producing execution sampled one.
+type cacheEntry struct {
+	hash   string
+	resp   *api.RunResponse
+	raw    []byte
+	points []api.TrajectoryPoint // nil when the run recorded none
+	every  int                   // the granularity points were sampled at
+}
+
+// resultCache is a small LRU keyed by the canonical config hash. Runs are
+// pure functions of their canonical request, so entries never expire;
+// capacity is the only eviction pressure.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for hash, refreshing its recency.
+func (c *resultCache) get(hash string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts or upgrades an entry. An existing entry is only replaced
+// when the new one carries a trajectory it lacks (or one at a different
+// granularity) — the response bytes of equal hashes are identical by
+// construction, so replacement never changes what /result serves.
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.hash]; ok {
+		old := el.Value.(*cacheEntry)
+		if e.points != nil && (old.points == nil || old.every != e.every) {
+			el.Value = e
+		}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.hash] = c.order.PushFront(e)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -94,6 +94,12 @@ const (
 	// of a round lands on a single receiver. Beyond it the engine falls
 	// back to the per-agent path.
 	maxBulkN = 1 << pmFieldBits
+	// MaxBatchedN is maxBulkN for callers outside the package: populations
+	// of this size or larger cannot run on the batched kernel, so
+	// Config.Kernel = KernelBatched panics for them (KernelAuto falls back
+	// to the per-agent path, visibly via Result.Paths). Admission layers
+	// should validate against it instead of letting Run panic.
+	MaxBatchedN = maxBulkN
 	// denseMinMessages gates the dense kernel: below it the per-message
 	// path is at least as fast and the per-bucket sampling overhead is
 	// not worth amortizing.
@@ -240,13 +246,18 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 			// Config.Shards, so the draw schedule — and hence the result —
 			// is identical for every worker count.
 			if len(e.bulk.shards) >= 2 && m >= shardMinMessages {
+				e.paths.Sharded++
 				e.stepSharded(len(zeros), len(ones), round)
 			} else {
+				e.paths.Dense++
 				e.stepDense(len(zeros), len(ones), round)
 			}
 		} else {
+			e.paths.PerMessage++
 			e.stepPerMessage(bp, zeros, ones, round)
 		}
+	} else {
+		e.paths.Quiet++
 	}
 	bp.EndRound(round)
 }

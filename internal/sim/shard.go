@@ -167,5 +167,4 @@ func (e *Engine) stepSharded(m0, m1, round int) {
 		accepted += b.shards[i].accepted
 	}
 	e.denseRoundEnd(placed, accepted)
-	e.shardedRounds++
 }

@@ -64,6 +64,11 @@ type FailurePlan interface {
 // Observer is called at the end of every executed round; used for tracing.
 type Observer func(round int, e *Engine)
 
+// DefaultMaxRounds is the execution cap a zero Config.MaxRounds means: a
+// generous 2²⁰ rounds. Exported so canonicalization layers (internal/api)
+// can map "unset" and "explicitly the default" to the same run.
+const DefaultMaxRounds = 1 << 20
+
 // Kernel selects the execution strategy of the engine's round loop.
 type Kernel int
 
@@ -93,7 +98,7 @@ type Config struct {
 	Seed uint64
 	// MaxRounds caps execution; a run that reaches it without the
 	// protocol terminating is reported with Truncated = true. Zero means
-	// a generous default of 1<<20 rounds.
+	// DefaultMaxRounds.
 	MaxRounds int
 	// AllowSelfMessages selects whether a sender may pick itself as the
 	// recipient. The classical push-gossip convention (used here by
@@ -108,6 +113,15 @@ type Config struct {
 	Failures FailurePlan
 	// Observer, if set, runs after every executed round.
 	Observer Observer
+	// Cancel, if non-nil, aborts the run when it becomes readable (closed
+	// or sent to): the engine polls it at the per-round barrier — after a
+	// round's deliveries and observer, before the next round starts — on
+	// every kernel. A canceled run returns a Result with Canceled = true
+	// whose counters cover the rounds that did execute. Polling draws
+	// nothing from any RNG stream, so the executed prefix is bit-identical
+	// to the same prefix of an uncanceled run. Use ctx.Done() to couple a
+	// run to a context.
+	Cancel <-chan struct{}
 	// Kernel selects the round-loop strategy (default KernelAuto).
 	Kernel Kernel
 	// Shards sets the worker-goroutine count of the intra-run sharded
@@ -141,6 +155,73 @@ func (c Config) validate() error {
 	return nil
 }
 
+// PathRounds counts a run's executed rounds by the kernel path that ran
+// them. The engine picks the path round by round (a single run routinely
+// mixes them: per-message rounds while few agents send, dense or sharded
+// rounds at full blast), and a configuration that cannot use the batched
+// kernel at all — a non-bulk protocol, or n ≥ 2²⁸ — silently falls back
+// to the per-agent reference path. PathRounds makes that choice visible
+// in every Result instead of leaving the fallback to be discovered in a
+// profile.
+type PathRounds struct {
+	// PerAgent counts rounds on the per-agent reference path (one Send
+	// call per agent per round).
+	PerAgent int64 `json:"per_agent,omitempty"`
+	// Quiet counts batched rounds with no live senders (the protocol's
+	// "breathe" phases): no kernel work at all.
+	Quiet int64 `json:"quiet,omitempty"`
+	// PerMessage counts rounds on the batched per-message path.
+	PerMessage int64 `json:"per_message,omitempty"`
+	// Dense counts rounds on the serial dense aggregate path.
+	Dense int64 `json:"dense,omitempty"`
+	// Sharded counts dense rounds executed across the virtual shards.
+	Sharded int64 `json:"sharded,omitempty"`
+}
+
+// Total returns the number of rounds counted.
+func (p PathRounds) Total() int64 {
+	return p.PerAgent + p.Quiet + p.PerMessage + p.Dense + p.Sharded
+}
+
+// Primary names the path that executed the most rounds, ignoring Quiet
+// rounds (every protocol breathes; the question is what runs when it
+// speaks). Returns "per-agent", "per-message", "dense", "sharded", or
+// "quiet" when no round carried a message.
+func (p PathRounds) Primary() string {
+	name, best := "quiet", int64(0)
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}} {
+		if c.n > best {
+			name, best = c.name, c.n
+		}
+	}
+	return name
+}
+
+// String renders the non-zero counters compactly, e.g.
+// "per-message:420 dense:64 sharded:3218 quiet:96".
+func (p PathRounds) String() string {
+	s := ""
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}, {"quiet", p.Quiet}} {
+		if c.n == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", c.name, c.n)
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
 // Result summarizes a completed run.
 type Result struct {
 	// Protocol is the protocol's Name.
@@ -156,6 +237,11 @@ type Result struct {
 	MessagesDropped int64
 	// Truncated reports that MaxRounds was reached before Done.
 	Truncated bool
+	// Canceled reports that Config.Cancel aborted the run at a round
+	// barrier before the protocol terminated.
+	Canceled bool
+	// Paths breaks Rounds down by the kernel path that executed them.
+	Paths PathRounds
 	// Opinions counts final opinions: Opinions[b] agents hold bit b.
 	Opinions [2]int
 	// Undecided counts agents with no opinion at the end.
@@ -211,12 +297,12 @@ type Engine struct {
 
 	bulk *bulkState // lazily allocated batched-kernel buffers
 
-	started       bool
-	round         int
-	sent          int64
-	accepted      int64
-	dropped       int64
-	shardedRounds int64
+	started  bool
+	round    int
+	sent     int64
+	accepted int64
+	dropped  int64
+	paths    PathRounds
 }
 
 // NewEngine validates cfg and prepares an engine.
@@ -225,7 +311,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 1 << 20
+		cfg.MaxRounds = DefaultMaxRounds
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -256,7 +342,38 @@ func (e *Engine) Reset(seed uint64) {
 	e.started = false
 	e.round = 0
 	e.sent, e.accepted, e.dropped = 0, 0, 0
-	e.shardedRounds = 0
+	e.paths = PathRounds{}
+}
+
+// SetObserver replaces the engine's observer for the next run. Together
+// with SetFailures and SetCancel it lets a pooled engine be re-armed per
+// job — Reset(seed) then install the job's hooks — instead of paying a
+// NewEngine allocation per request. Panics if a run is in progress or
+// finished without an intervening Reset, for the same reason Run does:
+// swapping hooks mid-run would make the run an impure function of timing.
+func (e *Engine) SetObserver(o Observer) {
+	if e.started {
+		panic("sim: Engine.SetObserver on a started engine — Reset first")
+	}
+	e.cfg.Observer = o
+}
+
+// SetFailures replaces the engine's failure plan for the next run. See
+// SetObserver for the pooled-engine use case and the panic condition.
+func (e *Engine) SetFailures(f FailurePlan) {
+	if e.started {
+		panic("sim: Engine.SetFailures on a started engine — Reset first")
+	}
+	e.cfg.Failures = f
+}
+
+// SetCancel replaces the engine's cancellation channel for the next run.
+// See SetObserver for the pooled-engine use case and the panic condition.
+func (e *Engine) SetCancel(c <-chan struct{}) {
+	if e.started {
+		panic("sim: Engine.SetCancel on a started engine — Reset first")
+	}
+	e.cfg.Cancel = c
 }
 
 // N returns the population size.
@@ -269,10 +386,22 @@ func (e *Engine) Round() int { return e.round }
 // MessagesSent returns the running total of pushes.
 func (e *Engine) MessagesSent() int64 { return e.sent }
 
+// MessagesAccepted returns the running total of deliveries that reached
+// the protocol (valid inside Observer callbacks, for progress reporting).
+func (e *Engine) MessagesAccepted() int64 { return e.accepted }
+
+// MessagesDropped returns the running total of collision, crash and
+// DropProb losses (valid inside Observer callbacks).
+func (e *Engine) MessagesDropped() int64 { return e.dropped }
+
+// Paths returns the per-kernel-path round counts so far (valid inside
+// Observer callbacks; the full-run breakdown is in Result.Paths).
+func (e *Engine) Paths() PathRounds { return e.paths }
+
 // ShardedRounds reports how many rounds so far executed on the sharded
 // dense path (diagnostics and tests; the count is a pure function of the
 // run, independent of Config.Shards).
-func (e *Engine) ShardedRounds() int64 { return e.shardedRounds }
+func (e *Engine) ShardedRounds() int64 { return e.paths.Sharded }
 
 // Run executes p until it reports Done or MaxRounds is hit. Calling Run a
 // second time without an intervening Reset panics: the engine's counters
@@ -289,13 +418,31 @@ func (e *Engine) Run(p Protocol) Result {
 	bp, batched := e.selectKernel(p)
 
 	res := Result{Protocol: p.Name()}
+	canceled := false
 	for e.round = 0; e.round < e.cfg.MaxRounds; e.round++ {
 		if p.Done(e.round) {
 			break
 		}
+		// The per-round barrier: previous round fully delivered, observer
+		// notified, next round not started. Cancellation is only honoured
+		// here — after the Done check, so a cancel that lands when the
+		// protocol has already terminated reports the completed run, not a
+		// canceled one — and the poll touches no RNG stream, so a canceled
+		// run's executed prefix is bit-identical to an uncanceled run's.
+		if e.cfg.Cancel != nil {
+			select {
+			case <-e.cfg.Cancel:
+				canceled = true
+			default:
+			}
+			if canceled {
+				break
+			}
+		}
 		if batched {
 			e.stepBulk(bp)
 		} else {
+			e.paths.PerAgent++
 			e.step(p)
 		}
 		if e.cfg.Observer != nil {
@@ -303,7 +450,9 @@ func (e *Engine) Run(p Protocol) Result {
 		}
 	}
 	res.Rounds = e.round
-	res.Truncated = e.round >= e.cfg.MaxRounds && !p.Done(e.round)
+	res.Canceled = canceled
+	res.Truncated = !canceled && e.round >= e.cfg.MaxRounds && !p.Done(e.round)
+	res.Paths = e.paths
 	res.MessagesSent = e.sent
 	res.MessagesAccepted = e.accepted
 	res.MessagesDropped = e.dropped
