@@ -32,6 +32,12 @@
 //	curl -s localhost:8344/v1/runs -d '{"n":4096,"trajectory_every":8}' \
 //	  | jq -r .id | xargs -I{} curl -sN localhost:8344/v1/runs/{}/stream
 //	curl -s localhost:8344/v1/stats
+//
+// A running daemon also serves as a sweep backend: `sweep -remote
+// http://host:8344` executes its grid cells here, and the result cache
+// makes repeated or overlapping sweeps incremental. Sweep grids cycle
+// through many engine shapes ((n, ε, kernel) combinations), so -engines
+// sizes each worker's engine cache for the grid's working set.
 package main
 
 import (
@@ -56,14 +62,18 @@ func main() {
 		queue   = fs.Int("queue", 256, "admission queue depth")
 		cache   = fs.Int("cache", 1024, "result cache entries")
 		maxN    = fs.Int("maxn", 1<<24, "largest admitted population (0 = engine limit)")
+		engines = fs.Int("engines", 0, "reusable engines cached per worker, one per engine shape (0 = default 4; raise for wide sweep grids)")
+		history = fs.Int("history", 0, "terminal jobs retrievable by ID (0 = default 16384)")
 	)
 	fs.Parse(os.Args[1:])
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxN:         *maxN,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		MaxN:             *maxN,
+		EnginesPerWorker: *engines,
+		JobHistory:       *history,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -133,7 +133,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := engine.Run(built.NewProtocol())
+	proto := built.NewProtocol()
+	res := engine.Run(proto)
 	wall := time.Since(start)
 
 	agentRounds := float64(*n) * float64(res.Rounds)
@@ -150,7 +151,7 @@ func run(args []string) error {
 		agentRounds/wall.Seconds()/1e6)
 
 	if *jsonOut {
-		resp := api.NewResponse(req, res, built.Crashed)
+		resp := api.NewResponse(req, res, built.Crashed, proto)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(resp)

@@ -280,10 +280,13 @@ func (r RunRequest) Build() (*Run, error) {
 		}
 	}
 
-	ch := channel.Channel(channel.Noiseless{})
-	if r.Eps < 0.5 {
-		ch = channel.FromEpsilon(r.Eps)
-	}
+	// Every ε — including the noiseless boundary ε = 0.5 — runs the honest
+	// worst-case channel FromEpsilon(ε), a BSC with flip probability
+	// 1/2 − ε. A BSC at flip probability 0 transmits and draws exactly
+	// like channel.Noiseless (pinned by TestEpsHalfIsNoiselessBitForBit),
+	// so dropping the old Noiseless special case changes no result bit
+	// while keeping channel telemetry and labels truthful.
+	ch := channel.Channel(channel.FromEpsilon(r.Eps))
 	cfg := sim.Config{
 		N:                 r.N,
 		Channel:           ch,
@@ -398,12 +401,20 @@ type RunResponse struct {
 	Unanimous bool `json:"unanimous"`
 	// Crashed is the size of the crash plan's crash set.
 	Crashed int `json:"crashed,omitempty"`
+	// Stage1Bias is the population bias toward the target when Stage I
+	// completed (core.Telemetry.BiasAfterStageI), present only for
+	// protocols that record it (the synchronous broadcast/consensus
+	// schedules). Telemetry is measurement-only and deterministic, so the
+	// field is as canonical as the counters around it.
+	Stage1Bias *float64 `json:"stage1_bias,omitempty"`
 }
 
-// NewResponse assembles the response for a completed run.
-func NewResponse(req RunRequest, res sim.Result, crashed int) RunResponse {
+// NewResponse assembles the response for a completed run. proto is the
+// protocol instance the run executed (its telemetry feeds the optional
+// response fields); nil is tolerated and simply omits them.
+func NewResponse(req RunRequest, res sim.Result, crashed int, proto sim.Protocol) RunResponse {
 	c := req.Canonical()
-	return RunResponse{
+	resp := RunResponse{
 		Request:          c,
 		Hash:             c.Hash(),
 		Protocol:         res.Protocol,
@@ -421,4 +432,10 @@ func NewResponse(req RunRequest, res sim.Result, crashed int) RunResponse {
 		Unanimous:        res.AllCorrect(channel.One),
 		Crashed:          crashed,
 	}
+	type biased interface{ Telemetry() *core.Telemetry }
+	if b, ok := proto.(biased); ok {
+		bias := b.Telemetry().BiasAfterStageI
+		resp.Stage1Bias = &bias
+	}
+	return resp
 }

@@ -137,16 +137,20 @@ func TestBuildAndRun(t *testing.T) {
 		if run.ScheduleRounds <= 0 {
 			t.Errorf("%s: ScheduleRounds = %d", proto, run.ScheduleRounds)
 		}
-		res, err := sim.Run(run.Config, run.NewProtocol())
+		p := run.NewProtocol()
+		res, err := sim.Run(run.Config, p)
 		if err != nil {
 			t.Fatalf("%s: Run: %v", proto, err)
 		}
 		if res.Rounds <= 0 {
 			t.Errorf("%s: executed %d rounds", proto, res.Rounds)
 		}
-		resp := NewResponse(req, res, run.Crashed)
+		resp := NewResponse(req, res, run.Crashed, p)
 		if resp.Hash != req.Hash() {
 			t.Errorf("%s: response hash mismatch", proto)
+		}
+		if wantBias := proto == ProtoBroadcast || proto == ProtoConsensus; (resp.Stage1Bias != nil) != wantBias {
+			t.Errorf("%s: Stage1Bias present = %v, want %v", proto, resp.Stage1Bias != nil, wantBias)
 		}
 		if resp.Paths.Total() != int64(res.Rounds) {
 			t.Errorf("%s: path counts sum to %d, rounds %d", proto, resp.Paths.Total(), res.Rounds)
@@ -190,11 +194,12 @@ func TestResponseJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(run.Config, run.NewProtocol())
+	p := run.NewProtocol()
+	res, err := sim.Run(run.Config, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := NewResponse(req, res, run.Crashed)
+	resp := NewResponse(req, res, run.Crashed, p)
 	raw, err := json.Marshal(resp)
 	if err != nil {
 		t.Fatal(err)

@@ -122,6 +122,13 @@ func (c *BSC) Transmit(b Bit, r *rng.RNG) Bit {
 // with exactly the same law as Transmit, without per-bit interface calls.
 func (c *BSC) TransmitBulk(bits []Bit, r *rng.RNG) {
 	thresh := FlipThreshold53(c.p)
+	if thresh == 0 {
+		// p = 0 flips nothing and — like Transmit, whose Bernoulli(0)
+		// short-circuits before drawing — must consume no draws: a BSC
+		// with flip probability 0 is Noiseless draw for draw, which is
+		// what lets ε = 0.5 run as an honest BSC without changing a bit.
+		return
+	}
 	for i := range bits {
 		if r.Uint64()>>11 < thresh {
 			bits[i] ^= 1

@@ -1,0 +1,63 @@
+package channel
+
+import (
+	"testing"
+
+	"breathe/internal/rng"
+)
+
+// TestZeroFlipBSCDrawsNothing pins that a BSC with flip probability 0 —
+// FromEpsilon(0.5), the honest form of the noiseless boundary — consumes
+// no RNG draws on either transmit path, exactly like Noiseless. Transmit
+// already short-circuited through Bernoulli(0); TransmitBulk used to burn
+// one draw per bit, which would have shifted every later draw of the
+// stream and broken the ε = 0.5 ≡ Noiseless bit-identity.
+func TestZeroFlipBSCDrawsNothing(t *testing.T) {
+	bsc := FromEpsilon(0.5)
+	if got := bsc.FlipProb(); got != 0 {
+		t.Fatalf("FromEpsilon(0.5).FlipProb() = %v, want 0", got)
+	}
+
+	bits := []Bit{Zero, One, One, Zero, One}
+	want := append([]Bit(nil), bits...)
+
+	r := rng.New(7)
+	bsc.TransmitBulk(bits, r)
+	for i := range bits {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d flipped by p=0 BSC", i)
+		}
+	}
+	if out := bsc.Transmit(One, r); out != One {
+		t.Fatal("Transmit flipped a bit at p=0")
+	}
+
+	// The stream must be untouched: the next draws equal a fresh stream's
+	// first draws.
+	fresh := rng.New(7)
+	for i := 0; i < 4; i++ {
+		if g, w := r.Uint64(), fresh.Uint64(); g != w {
+			t.Fatalf("draw %d: p=0 BSC consumed RNG draws (got %d, want %d)", i, g, w)
+		}
+	}
+}
+
+// TestZeroFlipBSCMatchesNoiseless: both channels applied to the same
+// stream leave bits and stream position identical.
+func TestZeroFlipBSCMatchesNoiseless(t *testing.T) {
+	bsc := Channel(FromEpsilon(0.5))
+	nl := Channel(Noiseless{})
+	rb, rn := rng.New(42), rng.New(42)
+	bitsB := []Bit{One, Zero, One}
+	bitsN := append([]Bit(nil), bitsB...)
+	TransmitAll(bsc, bitsB, rb)
+	TransmitAll(nl, bitsN, rn)
+	for i := range bitsB {
+		if bitsB[i] != bitsN[i] {
+			t.Fatalf("bit %d differs between p=0 BSC and Noiseless", i)
+		}
+	}
+	if rb.Uint64() != rn.Uint64() {
+		t.Fatal("p=0 BSC and Noiseless left the RNG stream at different positions")
+	}
+}

@@ -49,15 +49,19 @@ func (c *resultCache) get(hash string) (*cacheEntry, bool) {
 }
 
 // put inserts or upgrades an entry. An existing entry is only replaced
-// when the new one carries a trajectory it lacks (or one at a different
-// granularity) — the response bytes of equal hashes are identical by
-// construction, so replacement never changes what /result serves.
+// when it holds no trajectory and the new one does — the response bytes
+// of equal hashes are identical by construction, so the upgrade never
+// changes what /result serves. An entry that already holds points is
+// never downgraded or re-granularized: get demands an exact `every`
+// match, so overwriting k-points with k′-points would discard data that
+// future trajectory_every=k requests would have hit, for data the next
+// k′ request could recompute either way.
 func (c *resultCache) put(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[e.hash]; ok {
 		old := el.Value.(*cacheEntry)
-		if e.points != nil && (old.points == nil || old.every != e.every) {
+		if old.points == nil && e.points != nil {
 			el.Value = e
 		}
 		c.order.MoveToFront(el)

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"breathe/internal/api"
+)
+
+func entry(hash string, every int, points ...api.TrajectoryPoint) *cacheEntry {
+	return &cacheEntry{hash: hash, raw: []byte(hash), points: points, every: every}
+}
+
+func hashes(c *resultCache) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).hash)
+	}
+	return out
+}
+
+func wantOrder(t *testing.T, c *resultCache, want ...string) {
+	t.Helper()
+	got := hashes(c)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cache order (front→back) = %v, want %v", got, want)
+	}
+}
+
+// TestCacheEvictionOrder: capacity pressure evicts the least recently
+// used entry, in insertion order when nothing was touched.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(2)
+	c.put(entry("a", 0))
+	c.put(entry("b", 0))
+	c.put(entry("c", 0))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry a survived capacity pressure")
+	}
+	wantOrder(t, c, "c", "b")
+}
+
+// TestCacheGetRefreshesRecency: a get moves the entry to the front, so
+// the *other* entry is the next eviction victim.
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.put(entry("a", 0))
+	c.put(entry("b", 0))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("entry a missing")
+	}
+	wantOrder(t, c, "a", "b")
+	c.put(entry("c", 0))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("refreshed-over entry b survived; recency not honoured")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+// TestCachePutRefreshesRecency: re-putting an existing hash refreshes its
+// recency even when nothing is replaced.
+func TestCachePutRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.put(entry("a", 0))
+	c.put(entry("b", 0))
+	c.put(entry("a", 0)) // refresh only: identical content
+	c.put(entry("c", 0))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("entry b survived although a was re-put after it")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("re-put entry a was evicted")
+	}
+}
+
+// TestCachePutUpgradeRules pins the replacement policy: a pointless entry
+// is upgraded by the first trajectory-carrying one, and an entry holding
+// points is never replaced — not by a pointless run, and (the regression)
+// not by points at a different granularity, which would discard data that
+// future trajectory_every=k requests would have hit (get requires an
+// exact granularity match).
+func TestCachePutUpgradeRules(t *testing.T) {
+	c := newResultCache(4)
+	pt := api.TrajectoryPoint{Round: 8, Correct: 1}
+
+	c.put(entry("h", 0))
+	c.put(entry("h", 8, pt)) // upgrade: nil → points@8
+	got, ok := c.get("h")
+	if !ok || got.every != 8 || len(got.points) != 1 {
+		t.Fatalf("upgrade did not land: %+v", got)
+	}
+
+	c.put(entry("h", 0)) // pointless rerun must not downgrade
+	if got, _ = c.get("h"); got.points == nil {
+		t.Fatal("pointless put discarded the stored trajectory")
+	}
+
+	// Regression (issue: trajectory downgrade): a run at granularity 2
+	// must not overwrite the points sampled at granularity 8.
+	c.put(entry("h", 2, pt, pt))
+	if got, _ = c.get("h"); got.every != 8 || len(got.points) != 1 {
+		t.Fatalf("entry re-granularized: every=%d points=%d, want every=8 points=1",
+			got.every, len(got.points))
+	}
+}

@@ -479,7 +479,7 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 		ex.fail(StateCanceled, ErrCanceled, wall)
 		return
 	}
-	resp := api.NewResponse(ex.req, res, run.Crashed)
+	resp := api.NewResponse(ex.req, res, run.Crashed, proto)
 	raw, err := json.Marshal(resp)
 	if err != nil {
 		ex.fail(StateFailed, err, wall)

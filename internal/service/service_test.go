@@ -407,14 +407,26 @@ func TestTrajectoryGranularityNotConflated(t *testing.T) {
 	if !bytes.Equal(rawC, rawF) {
 		t.Error("trajectory granularity changed the response bytes")
 	}
-	// And a same-granularity resubmission now hits the (replaced) entry.
-	again, err := s.Submit(api.RunRequest{N: 1024, Seed: 6, TrajectoryEvery: 1})
+	// The entry keeps its original every-64 points: a later run at a
+	// different granularity must not overwrite them (regression: put used
+	// to downgrade the entry to the newest granularity, discarding data
+	// future every-64 requests would have hit). So every-64 still hits…
+	again64, err := s.Submit(api.RunRequest{N: 1024, Seed: 6, TrajectoryEvery: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !again.Cached {
-		t.Error("same-granularity resubmission missed the cache")
+	if !again64.Cached {
+		t.Error("original-granularity resubmission missed the cache")
 	}
+	// …while every-1 recomputes (an exact-match policy cannot serve it).
+	again1, err := s.Submit(api.RunRequest{N: 1024, Seed: 6, TrajectoryEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again1.Cached {
+		t.Error("every-1 request served from the every-64 entry")
+	}
+	waitJob(t, again1)
 	// A no-trajectory request hitting the same entry must stream nothing
 	// — exactly what a fresh execution of it would.
 	plain, err := s.Submit(api.RunRequest{N: 1024, Seed: 6})

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk form of an interrupted (or completed)
+// sweep: the canonical response bytes of every finished run, keyed by the
+// run's content address. Because the key is the api config hash — not a
+// cell index — a checkpoint is valid for any sweep whose grid overlaps
+// it, and resuming is pure lookup: a checkpointed run is never
+// recomputed, and the bytes served are exactly the bytes the original
+// execution produced.
+type checkpointFile struct {
+	Version int                        `json:"version"`
+	Results map[string]json.RawMessage `json:"results"`
+}
+
+// loadCheckpoint reads the checkpoint at path. A missing file is an empty
+// checkpoint (the first run of a sweep); a present-but-unreadable one is
+// an error, never silently discarded work.
+func loadCheckpoint(path string) (map[string]json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]json.RawMessage{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("sweep: checkpoint %s: version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Results == nil {
+		f.Results = map[string]json.RawMessage{}
+	}
+	return f.Results, nil
+}
+
+// saveCheckpoint atomically rewrites the checkpoint: marshal to a
+// temporary file in the same directory, then rename over path, so an
+// interruption mid-write leaves the previous checkpoint intact.
+func saveCheckpoint(path string, results map[string]json.RawMessage) error {
+	// Compact marshal, deliberately not MarshalIndent: indentation would
+	// reformat the embedded canonical response bytes, and a resumed sweep
+	// must serve the exact bytes the original execution produced (the
+	// cell digests cover them). Keys sort deterministically either way.
+	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Results: results})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".sweep-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("sweep: checkpoint: %w", werr)
+		}
+		return fmt.Errorf("sweep: checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpointHashes returns the sorted content addresses present in a
+// checkpoint (diagnostics and tests).
+func checkpointHashes(results map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(results))
+	for h := range results {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,332 @@
+package sweep
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"breathe/internal/api"
+	"breathe/internal/service"
+)
+
+// smallSpec is the acceptance grid in miniature: all three bulk-capable
+// protocols × 2 n × 2 ε × crash ∈ {0, p}, 2 seeds per cell.
+func smallSpec() Spec {
+	return Spec{
+		Protocols:  []string{api.ProtoBroadcast, api.ProtoAsyncOffsets, api.ProtoAsyncSelfSync},
+		Ns:         []int{64, 128},
+		Epss:       []float64{0.3, 0.45},
+		CrashProbs: []float64{0, 0.05},
+		Seeds:      2,
+		BaseSeed:   7,
+	}
+}
+
+func TestSpecCellsOrderAndCount(t *testing.T) {
+	spec := smallSpec()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*2*2*2 {
+		t.Fatalf("got %d cells, want 24", len(cells))
+	}
+	// Protocol-major, then n, ε, crash; every cell carries Seeds requests
+	// at consecutive seeds.
+	if cells[0].Key() != "broadcast/n=64/eps=0.3/crash=0" {
+		t.Errorf("first cell = %s", cells[0].Key())
+	}
+	if cells[1].CrashProb != 0.05 || cells[2].Eps != 0.45 {
+		t.Errorf("axis order wrong: %s then %s", cells[1].Key(), cells[2].Key())
+	}
+	if cells[8].Protocol != api.ProtoAsyncOffsets {
+		t.Errorf("cell 8 protocol = %s", cells[8].Protocol)
+	}
+	for _, c := range cells {
+		if len(c.Requests) != 2 {
+			t.Fatalf("cell %s has %d requests", c.Key(), len(c.Requests))
+		}
+		if c.Requests[0].Seed != 7 || c.Requests[1].Seed != 8 {
+			t.Fatalf("cell %s seeds = %d,%d", c.Key(), c.Requests[0].Seed, c.Requests[1].Seed)
+		}
+	}
+	// The grid is content-addressed: distinct cells, distinct hashes.
+	seen := map[string]string{}
+	for _, c := range cells {
+		for _, r := range c.Requests {
+			h := r.Hash()
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("hash collision between %s and %s", prev, c.Key())
+			}
+			seen[h] = c.Key()
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	for name, s := range map[string]Spec{
+		"no ns":        {Protocols: []string{"broadcast"}},
+		"bad protocol": {Protocols: []string{"bogus"}, Ns: []int{64}},
+		"bad eps":      {Ns: []int{64}, Epss: []float64{0.7}},
+		"bad crash":    {Ns: []int{64}, CrashProbs: []float64{1}},
+		"bad n":        {Ns: []int{1}},
+		"bad kernel":   {Ns: []int{64}, Kernel: "vector"},
+		"bad seeds":    {Ns: []int{64}, Seeds: -1},
+	} {
+		if _, err := s.Cells(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	for _, tc := range []struct{ workers, shards, cores, want int }{
+		{0, 0, 8, 1}, // both auto: workers take every core, shards stay serial
+		{1, 0, 8, 8}, // one worker: the whole budget shards one run
+		{2, 0, 8, 4}, // split evenly
+		{3, 0, 8, 2}, // floor, at least 1
+		{8, 0, 4, 1}, // oversubscribed workers: no extra sharding on top
+		{0, 3, 8, 3}, // explicit shards respected verbatim
+		{4, 2, 8, 2}, // explicit shards respected even when the split disagrees
+		{0, 0, 1, 1}, // single core
+	} {
+		if got := EffectiveShards(tc.workers, tc.shards, tc.cores); got != tc.want {
+			t.Errorf("EffectiveShards(%d, %d, %d) = %d, want %d",
+				tc.workers, tc.shards, tc.cores, got, tc.want)
+		}
+	}
+}
+
+func newService(t *testing.T, workers int) *service.Service {
+	t.Helper()
+	svc := service.New(service.Config{Workers: workers, QueueDepth: 64})
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestLocalRemoteBitIdentical is the acceptance criterion in miniature:
+// the full scenario grid through the local engine pool and through a live
+// breathed-style HTTP instance must agree on every cell bit for bit (the
+// digest covers the canonical response bytes of every run).
+func TestLocalRemoteBitIdentical(t *testing.T) {
+	spec := smallSpec()
+
+	local, err := Run(spec, NewLocalRunner(newService(t, 2)), Options{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(service.NewHTTPHandler(newService(t, 2)))
+	defer srv.Close()
+	remoteRunner, err := NewRemoteRunner([]string{srv.URL}, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Run(spec, remoteRunner, Options{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(local.Cells) != len(remote.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(local.Cells), len(remote.Cells))
+	}
+	for i := range local.Cells {
+		if local.Cells[i].Digest != remote.Cells[i].Digest {
+			t.Errorf("cell %d (%s): local digest %s != remote %s",
+				i, local.Cells[i].Protocol, local.Cells[i].Digest, remote.Cells[i].Digest)
+		}
+	}
+	if local.Counters.Computed == 0 || remote.Counters.Computed == 0 {
+		t.Error("nothing computed — the test proved nothing")
+	}
+
+	// Identical CSV too: the table is a pure function of the responses.
+	var a, b bytes.Buffer
+	if err := local.Table().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Table().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("CSV differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestRemoteMultiEndpoint: a sweep spread round-robin over two breathed
+// instances still lands every cell (the caches are per-instance; the
+// results are pure functions of the requests, so spreading cannot change
+// a byte).
+func TestRemoteMultiEndpoint(t *testing.T) {
+	spec := Spec{Protocols: []string{api.ProtoBroadcast}, Ns: []int{64, 128}, Epss: []float64{0.3}, Seeds: 2}
+	srv1 := httptest.NewServer(service.NewHTTPHandler(newService(t, 1)))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(service.NewHTTPHandler(newService(t, 1)))
+	defer srv2.Close()
+
+	runner, err := NewRemoteRunner([]string{srv1.URL, srv2.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, runner, Options{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(spec, NewLocalRunner(newService(t, 1)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Cells {
+		if res.Cells[i].Digest != single.Cells[i].Digest {
+			t.Errorf("cell %d digest differs across backends", i)
+		}
+	}
+}
+
+// TestCheckpointResume: an interrupted sweep resumed from its checkpoint
+// recomputes zero completed runs and produces byte-identical output.
+func TestCheckpointResume(t *testing.T) {
+	spec := smallSpec()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	full, err := Run(spec, NewLocalRunner(newService(t, 2)), Options{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt deterministically after 5 of 24 cells.
+	partial, err := Run(spec, NewLocalRunner(newService(t, 2)),
+		Options{Concurrency: 4, Checkpoint: ckpt, AbortAfterCells: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Interrupted || partial.CompletedCells != 5 || partial.TotalCells != 24 {
+		t.Fatalf("interrupt bookkeeping wrong: %+v", partial)
+	}
+	saved, err := loadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpointHashes(saved)) != 5*spec.Seeds {
+		t.Fatalf("checkpoint holds %d runs, want %d", len(saved), 5*spec.Seeds)
+	}
+
+	// Resume on a fresh service (cold cache: only the checkpoint can
+	// prevent recomputation of the finished cells).
+	resumed, err := Run(spec, NewLocalRunner(newService(t, 2)),
+		Options{Concurrency: 4, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Counters.CheckpointHits, 5*spec.Seeds; got != want {
+		t.Errorf("checkpoint hits = %d, want %d (a completed cell was recomputed)", got, want)
+	}
+	if got, want := resumed.Counters.Computed, (24-5)*spec.Seeds; got != want {
+		t.Errorf("computed = %d, want %d", got, want)
+	}
+
+	var a, b bytes.Buffer
+	if err := full.Table().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Table().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("resumed CSV differs from uninterrupted:\n%s\nvs\n%s", b.String(), a.String())
+	}
+	for i := range full.Cells {
+		if full.Cells[i].Digest != resumed.Cells[i].Digest {
+			t.Errorf("cell %d digest changed across interrupt/resume", i)
+		}
+	}
+
+	// A second resume of the now-complete grid computes nothing at all.
+	again, err := Run(spec, NewLocalRunner(newService(t, 2)),
+		Options{Concurrency: 4, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Counters.Computed != 0 {
+		t.Errorf("fully checkpointed sweep recomputed %d runs", again.Counters.Computed)
+	}
+}
+
+// TestCheckpointNoResumeIsPreservedNotClobbered: rerunning with
+// -checkpoint but without -resume must recompute (no serving from the
+// file) while *extending* the existing checkpoint — a forgotten -resume
+// must not destroy a prior interrupted sweep's completed work.
+func TestCheckpointNoResumeIsPreservedNotClobbered(t *testing.T) {
+	spec := smallSpec()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	if _, err := Run(spec, NewLocalRunner(newService(t, 2)),
+		Options{Concurrency: 4, Checkpoint: ckpt, AbortAfterCells: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rerun without Resume, interrupted even earlier.
+	res, err := Run(spec, NewLocalRunner(newService(t, 2)),
+		Options{Concurrency: 4, Checkpoint: ckpt, AbortAfterCells: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.CheckpointHits != 0 || res.Counters.Computed != 2*spec.Seeds {
+		t.Errorf("no-resume run served from the file: %+v", res.Counters)
+	}
+	saved, err := loadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(saved), 5*spec.Seeds; got != want {
+		t.Errorf("checkpoint holds %d runs after the no-resume rerun, want the preserved %d", got, want)
+	}
+}
+
+// TestCheckpointCorruptionIsAnError: resuming from an unreadable
+// checkpoint must fail loudly, not silently recompute everything.
+func TestCheckpointCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Spec{Ns: []int{64}, Seeds: 1}, NewLocalRunner(newService(t, 1)),
+		Options{Checkpoint: path, Resume: true})
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestQueueBackpressure: a tiny admission queue under a wide sweep
+// degrades to retries, never to failure.
+func TestQueueBackpressure(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	t.Cleanup(svc.Close)
+	spec := Spec{Ns: []int{64}, Epss: []float64{0.3}, Seeds: 6}
+	res, err := Run(spec, NewLocalRunner(svc), Options{Concurrency: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Computed != 6 {
+		t.Errorf("computed %d runs, want 6", res.Counters.Computed)
+	}
+}
+
+// TestCacheSourceCounted: duplicate grid values hit the service's result
+// cache (or ride single-flight) and are counted as cache, not computed.
+func TestCacheSourceCounted(t *testing.T) {
+	svc := newService(t, 1)
+	spec := Spec{Ns: []int{64}, Epss: []float64{0.3}, Seeds: 2}
+	if _, err := Run(spec, NewLocalRunner(svc), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, NewLocalRunner(svc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.CacheHits != 2 || res.Counters.Computed != 0 {
+		t.Errorf("warm rerun counters = %+v, want 2 cache hits, 0 computed", res.Counters)
+	}
+}
