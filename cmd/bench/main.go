@@ -85,9 +85,10 @@ func (c *chatter) BulkDeliver(rs []int32, bs []channel.Bit, _ int) {
 	}
 }
 
-// Cell is one measured (kernel, n) point.
+// Cell is one measured (schedule, kernel, n) point.
 type Cell struct {
 	Kernel          string  `json:"kernel"`
+	Schedule        string  `json:"schedule"`
 	N               int     `json:"n"`
 	Shards          int     `json:"shards"`
 	Rounds          int     `json:"rounds"`
@@ -104,7 +105,12 @@ type Report struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Quick      bool   `json:"quick"`
 	Budget     int64  `json:"agent_round_budget"`
-	Cells      []Cell `json:"cells"`
+	// KeyedDenseOverhead is keyed/legacy − 1 in ns/agent-round on the
+	// serial dense path (kernel "batched") at the ladder's largest n —
+	// the cost of addressed draws over sequential streams. The budget for
+	// the keyed schedule is ≤ 0.15.
+	KeyedDenseOverhead float64 `json:"keyed_dense_overhead"`
+	Cells              []Cell  `json:"cells"`
 }
 
 func main() {
@@ -158,7 +164,7 @@ func run(args []string, log io.Writer) error {
 	}
 
 	rep := Report{
-		Schema:     "breathe-bench-kernel/v1",
+		Schema:     "breathe-bench-kernel/v2",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Budget:     b,
@@ -172,44 +178,67 @@ func run(args []string, log io.Writer) error {
 		{"batched", sim.KernelBatched, 1},
 		{"sharded", sim.KernelBatched, *shards},
 	}
+	schedules := []struct {
+		name string
+		ds   sim.DrawSchedule
+	}{
+		{"legacy", sim.ScheduleLegacy},
+		{"keyed", sim.ScheduleKeyed},
+	}
+	// ns/agent-round of the serial dense cells at the largest n, per
+	// schedule, for the keyed-overhead headline.
+	denseNs := map[string]float64{}
+	largestN := ns[len(ns)-1]
 	for _, n := range ns {
 		for _, k := range kernels {
-			// Equal work per cell: rounds × n ≈ the budget for every n, so
-			// ns/agent-round figures are comparable across the ladder. Only
-			// a floor is applied (populations larger than the budget still
-			// get a few rounds).
-			rounds := int(b / int64(n))
-			if rounds < 3 {
-				rounds = 3
+			for _, s := range schedules {
+				// Equal work per cell: rounds × n ≈ the budget for every n, so
+				// ns/agent-round figures are comparable across the ladder. Only
+				// a floor is applied (populations larger than the budget still
+				// get a few rounds).
+				rounds := int(b / int64(n))
+				if rounds < 3 {
+					rounds = 3
+				}
+				e, err := sim.NewEngine(sim.Config{
+					N: n, Channel: channel.NewBSC(0.2), Seed: *seed,
+					AllowSelfMessages: true, Kernel: k.kernel,
+					Shards: k.shards, MaxRounds: 1 << 30,
+					DrawSchedule: s.ds,
+				})
+				if err != nil {
+					return err
+				}
+				p := &chatter{rounds: rounds}
+				start := time.Now()
+				res := e.Run(p)
+				wall := time.Since(start)
+				agentRounds := float64(n) * float64(res.Rounds)
+				cell := Cell{
+					Kernel:          k.name,
+					Schedule:        s.name,
+					N:               n,
+					Shards:          k.shards,
+					Rounds:          res.Rounds,
+					Messages:        res.MessagesSent,
+					ShardedRounds:   e.ShardedRounds(),
+					WallSeconds:     wall.Seconds(),
+					NsPerAgentRound: float64(wall.Nanoseconds()) / agentRounds,
+					MMsgsPerSec:     float64(res.MessagesSent) / wall.Seconds() / 1e6,
+				}
+				rep.Cells = append(rep.Cells, cell)
+				if k.name == "batched" && n == largestN {
+					denseNs[s.name] = cell.NsPerAgentRound
+				}
+				fmt.Fprintf(log, "%-9s %-6s n=%-9d rounds=%-4d %7.2f ns/agent-round  %8.1f M msgs/s  sharded-rounds=%d\n",
+					cell.Kernel, cell.Schedule, n, cell.Rounds, cell.NsPerAgentRound, cell.MMsgsPerSec, cell.ShardedRounds)
 			}
-			e, err := sim.NewEngine(sim.Config{
-				N: n, Channel: channel.NewBSC(0.2), Seed: *seed,
-				AllowSelfMessages: true, Kernel: k.kernel,
-				Shards: k.shards, MaxRounds: 1 << 30,
-			})
-			if err != nil {
-				return err
-			}
-			p := &chatter{rounds: rounds}
-			start := time.Now()
-			res := e.Run(p)
-			wall := time.Since(start)
-			agentRounds := float64(n) * float64(res.Rounds)
-			cell := Cell{
-				Kernel:          k.name,
-				N:               n,
-				Shards:          k.shards,
-				Rounds:          res.Rounds,
-				Messages:        res.MessagesSent,
-				ShardedRounds:   e.ShardedRounds(),
-				WallSeconds:     wall.Seconds(),
-				NsPerAgentRound: float64(wall.Nanoseconds()) / agentRounds,
-				MMsgsPerSec:     float64(res.MessagesSent) / wall.Seconds() / 1e6,
-			}
-			rep.Cells = append(rep.Cells, cell)
-			fmt.Fprintf(log, "%-9s n=%-9d rounds=%-4d %7.2f ns/agent-round  %8.1f M msgs/s  sharded-rounds=%d\n",
-				cell.Kernel, n, cell.Rounds, cell.NsPerAgentRound, cell.MMsgsPerSec, cell.ShardedRounds)
 		}
+	}
+	if legacy, keyed := denseNs["legacy"], denseNs["keyed"]; legacy > 0 {
+		rep.KeyedDenseOverhead = keyed/legacy - 1
+		fmt.Fprintf(log, "keyed dense overhead at n=%d: %+.1f%% (budget ≤ +15%%)\n",
+			largestN, rep.KeyedDenseOverhead*100)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

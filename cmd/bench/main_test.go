@@ -27,19 +27,26 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if rep.Schema != "breathe-bench-kernel/v1" {
+	if rep.Schema != "breathe-bench-kernel/v2" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Cells) != 6 {
-		t.Fatalf("got %d cells, want 6", len(rep.Cells))
+	// 2 sizes × 3 kernels × 2 schedules.
+	if len(rep.Cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(rep.Cells))
 	}
 	for _, c := range rep.Cells {
 		if c.NsPerAgentRound <= 0 || c.Rounds < 3 || c.Messages <= 0 {
 			t.Fatalf("degenerate cell: %+v", c)
 		}
+		if c.Schedule != "legacy" && c.Schedule != "keyed" {
+			t.Fatalf("cell %+v has unknown schedule", c)
+		}
 		// n = 40000 decomposes into two virtual shards, so the batched and
-		// sharded kernels must report sharded rounds there.
-		if c.Kernel != "per-agent" && c.N == 40000 && c.ShardedRounds == 0 {
+		// sharded kernels must report sharded rounds there. Under the keyed
+		// schedule the regime is kernel-independent, so even the per-agent
+		// kernel reports them.
+		if c.N == 40000 && c.ShardedRounds == 0 &&
+			(c.Kernel != "per-agent" || c.Schedule == "keyed") {
 			t.Fatalf("cell %+v executed no sharded rounds", c)
 		}
 	}

@@ -70,6 +70,7 @@ func run(args []string) error {
 		eps      = fs.Float64("eps", 0.3, "channel parameter ε (flip prob = 1/2−ε)")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		kernel   = fs.String("kernel", "auto", "auto | batched | per-agent (auto falls back per-agent when batched cannot run)")
+		draws    = fs.String("schedule", "legacy", "draw schedule: legacy | keyed (keyed makes every kernel bit-identical)")
 		self     = fs.Bool("self", true, "allow self-messages (classical push convention; enables aggregate recipient sampling)")
 		aBias    = fs.Float64("abias", 0.2, "consensus: majority-bias of the initial set")
 		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
@@ -96,6 +97,7 @@ func run(args []string) error {
 		ABias:          *aBias,
 		CrashProb:      *crash,
 		Kernel:         *kernel,
+		Schedule:       *draws,
 		Shards:         *shards,
 	}
 	built, err := req.Build()
@@ -124,8 +126,8 @@ func run(args []string) error {
 		fmt.Fprintf(out, "crashes:   %d of %d agents down from round 0 (p = %.3g)\n",
 			built.Crashed, *n, *crash)
 	}
-	fmt.Fprintf(out, "scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s self=%v shards=%d\n",
-		*protocol, *n, *eps, *seed, *kernel, *self, *shards)
+	fmt.Fprintf(out, "scenario:  %s  n=%d eps=%.3g seed=%d kernel=%s schedule=%s self=%v shards=%d\n",
+		*protocol, *n, *eps, *seed, *kernel, req.Canonical().Schedule, *self, *shards)
 	fmt.Fprintf(out, "schedule:  %s\n", schedule)
 
 	start := time.Now()
@@ -140,7 +142,8 @@ func run(args []string) error {
 	agentRounds := float64(*n) * float64(res.Rounds)
 	fmt.Fprintf(out, "rounds:    %d   messages: %d (accepted %d, dropped %d)\n",
 		res.Rounds, res.MessagesSent, res.MessagesAccepted, res.MessagesDropped)
-	fmt.Fprintf(out, "paths:     %s (primary %s)\n", res.Paths, res.Paths.Primary())
+	fmt.Fprintf(out, "paths:     %s (primary %s, schedule %s)\n",
+		res.Paths, res.Paths.Primary(), req.Canonical().Schedule)
 	fmt.Fprintf(out, "opinions:  0:%d  1:%d  undecided:%d   correct: %.6f  unanimous: %v\n",
 		res.Opinions[0], res.Opinions[1], res.Undecided,
 		res.CorrectFraction(channel.One), res.AllCorrect(channel.One))

@@ -9,9 +9,16 @@
 // regardless of JSON field order, default elision, or pure performance
 // knobs (worker counts never change results — the sharded kernel is
 // bit-identical for every Config.Shards). Conversely anything that can
-// change a single output bit — including the kernel selection, whose
-// paths are equivalent in law but not draw-for-draw — is part of the
-// hash.
+// change a single output bit is part of the hash.
+//
+// What counts as a perf knob depends on the draw schedule. Under the
+// legacy schedule the kernel selection is semantic: the kernels agree in
+// law but not draw-for-draw, so Kernel is hashed. Under the keyed
+// schedule (ScheduleKeyed) every draw is addressed by
+// (seed, stream, round, agent, counter) and the kernels are bit-identical
+// by construction, so Kernel is erased from the canonical request — a
+// result computed by one kernel is served byte-for-byte to a request
+// naming another.
 //
 // The same types serve as the machine-readable output format of
 // cmd/megasim (-json), so batch and service results are directly
@@ -45,6 +52,18 @@ const (
 	KernelAuto     = "auto"
 	KernelBatched  = "batched"
 	KernelPerAgent = "per-agent"
+)
+
+// Draw-schedule names accepted by RunRequest.Schedule.
+const (
+	// ScheduleLegacy is the historical reseed-chain schedule: draws are
+	// consumed sequentially from per-subsystem streams, so the kernel
+	// selection changes the draw order and is part of the run's identity.
+	ScheduleLegacy = "legacy"
+	// ScheduleKeyed is the counter-mode schedule: every draw is addressed
+	// by (seed, stream, round, agent/shard, counter), making all kernels
+	// bit-identical and demoting Kernel to a pure performance knob.
+	ScheduleKeyed = "keyed"
 )
 
 // crashSeedSalt decorrelates the crash-plan randomness from the engine
@@ -85,9 +104,14 @@ type RunRequest struct {
 	// CrashRound is the round the crash plan takes effect (default 0).
 	CrashRound int `json:"crash_round,omitempty"`
 	// Kernel selects the execution strategy: auto | batched | per-agent.
-	// Default auto. Part of the hash: the kernels agree in law, not bit
-	// for bit.
+	// Default auto. Under the legacy schedule it is part of the hash (the
+	// kernels agree in law, not bit for bit); under the keyed schedule it
+	// is a pure perf knob and is erased from the canonical request.
 	Kernel string `json:"kernel,omitempty"`
+	// Schedule selects the draw schedule: legacy | keyed. Default legacy.
+	// Semantic — the two schedules consume randomness differently — so it
+	// is always part of the hash.
+	Schedule string `json:"schedule,omitempty"`
 
 	// Shards is the sharded kernel's worker count (0 = all cores). A pure
 	// performance knob — results are bit-identical for every value — so it
@@ -110,6 +134,10 @@ func (r *RunRequest) Normalize() {
 	r.Kernel = strings.ToLower(strings.TrimSpace(r.Kernel))
 	if r.Kernel == "" {
 		r.Kernel = KernelAuto
+	}
+	r.Schedule = strings.ToLower(strings.TrimSpace(r.Schedule))
+	if r.Schedule == "" {
+		r.Schedule = ScheduleLegacy
 	}
 	if r.Eps == 0 {
 		r.Eps = 0.3
@@ -140,6 +168,11 @@ func (r RunRequest) Validate() error {
 	case KernelAuto, KernelBatched, KernelPerAgent:
 	default:
 		return fmt.Errorf("api: unknown kernel %q", r.Kernel)
+	}
+	switch r.Schedule {
+	case ScheduleLegacy, ScheduleKeyed:
+	default:
+		return fmt.Errorf("api: unknown schedule %q", r.Schedule)
 	}
 	if r.N < 2 {
 		return fmt.Errorf("api: population size %d < 2", r.N)
@@ -187,6 +220,11 @@ func (r RunRequest) Canonical() RunRequest {
 	r.Normalize()
 	r.Shards = 0
 	r.TrajectoryEvery = 0
+	if r.Schedule == ScheduleKeyed {
+		// Keyed draws are addressed, not consumed: every kernel replays
+		// the identical schedule, so the kernel choice is pure perf.
+		r.Kernel = KernelAuto
+	}
 	return r
 }
 
@@ -198,10 +236,10 @@ func (r RunRequest) Hash() string {
 	c := r.Canonical()
 	var b strings.Builder
 	b.Grow(256)
-	fmt.Fprintf(&b, "breathe-run/v1\nprotocol=%s\nn=%d\neps=%s\nseed=%d\nmax_rounds=%d\nno_self=%t\ndrop=%s\nabias=%s\ncrash=%s\ncrash_round=%d\nkernel=%s\n",
+	fmt.Fprintf(&b, "breathe-run/v2\nprotocol=%s\nn=%d\neps=%s\nseed=%d\nmax_rounds=%d\nno_self=%t\ndrop=%s\nabias=%s\ncrash=%s\ncrash_round=%d\nkernel=%s\nschedule=%s\n",
 		c.Protocol, c.N, canonFloat(c.Eps), c.Seed, c.MaxRounds, c.NoSelfMessages,
 		canonFloat(c.DropProb), canonFloat(c.ABias), canonFloat(c.CrashProb),
-		c.CrashRound, c.Kernel)
+		c.CrashRound, c.Kernel, c.Schedule)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -302,14 +340,26 @@ func (r RunRequest) Build() (*Run, error) {
 	case KernelPerAgent:
 		cfg.Kernel = sim.KernelPerAgent
 	}
+	keyed := r.Schedule == ScheduleKeyed
+	if keyed {
+		cfg.DrawSchedule = sim.ScheduleKeyed
+	}
 
 	crashed := 0
 	if r.CrashProb > 0 {
 		// The plan is a pure function of (n, crash_prob, crash_round,
 		// seed) — agent 0 protected — so cached and fresh executions of
-		// the same request share it exactly.
-		plan := sim.NewRandomCrashes(r.N, r.CrashProb, r.CrashRound,
-			rng.New(r.Seed^crashSeedSalt), 0)
+		// the same request share it exactly. Keyed runs draw it from the
+		// run key's dedicated crash stream; legacy runs keep the salted
+		// sequential sampler that existing goldens pin.
+		var plan *sim.RandomCrashes
+		if keyed {
+			plan = sim.NewRandomCrashesKeyed(r.N, r.CrashProb, r.CrashRound,
+				rng.NewKey(r.Seed), 0)
+		} else {
+			plan = sim.NewRandomCrashes(r.N, r.CrashProb, r.CrashRound,
+				rng.New(r.Seed^crashSeedSalt), 0)
+		}
 		cfg.Failures = plan
 		crashed = plan.NumCrashed()
 	}

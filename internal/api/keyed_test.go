@@ -1,0 +1,135 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"breathe/internal/sim"
+)
+
+// TestKeyedHashErasesKernel: under the keyed draw schedule the kernel
+// selection is a pure performance knob and must not enter the hash —
+// the exact inverse of the legacy contract that TestHashCanonicalization
+// pins. The schedule itself stays semantic.
+func TestKeyedHashErasesKernel(t *testing.T) {
+	base := RunRequest{N: 1024, Seed: 7, Schedule: ScheduleKeyed}
+	h := base.Hash()
+	for _, kernel := range []string{KernelAuto, KernelBatched, KernelPerAgent} {
+		r := RunRequest{N: 1024, Seed: 7, Schedule: ScheduleKeyed, Kernel: kernel, Shards: 8}
+		if got := r.Hash(); got != h {
+			t.Errorf("keyed kernel=%s changed the hash: %s vs %s", kernel, got, h)
+		}
+	}
+	if legacy := (RunRequest{N: 1024, Seed: 7}).Hash(); legacy == h {
+		t.Error("legacy and keyed schedules share a hash — they consume randomness differently")
+	}
+	if spelled := (RunRequest{N: 1024, Seed: 7, Schedule: "Keyed"}).Hash(); spelled != h {
+		t.Error("schedule name is not case-normalized before hashing")
+	}
+}
+
+// TestKeyedCanonicalErasesKernel: the canonical request embedded in every
+// keyed response names kernel auto regardless of what computed it, so a
+// cached response serves any kernel's request byte-identically.
+func TestKeyedCanonicalErasesKernel(t *testing.T) {
+	a := RunRequest{N: 2048, Seed: 1, Schedule: ScheduleKeyed, Kernel: KernelPerAgent, Shards: 16}
+	b := RunRequest{N: 2048, Seed: 1, Schedule: ScheduleKeyed, Kernel: KernelBatched}
+	ca, cb := a.Canonical(), b.Canonical()
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("keyed canonical forms differ:\n%+v\n%+v", ca, cb)
+	}
+	if ca.Kernel != KernelAuto {
+		t.Errorf("keyed canonical kernel = %q, want %q", ca.Kernel, KernelAuto)
+	}
+	// Legacy requests keep the kernel: it is semantic there.
+	lc := RunRequest{N: 2048, Seed: 1, Kernel: KernelPerAgent}.Canonical()
+	if lc.Kernel != KernelPerAgent {
+		t.Errorf("legacy canonical kernel = %q, want per-agent", lc.Kernel)
+	}
+}
+
+func TestValidateRejectsUnknownSchedule(t *testing.T) {
+	r := RunRequest{N: 100, Schedule: "counter"}
+	r.Normalize()
+	if err := r.Validate(); err == nil {
+		t.Error("Validate accepted schedule \"counter\"")
+	}
+}
+
+// runResponseBytes builds, executes and serializes one request.
+func runResponseBytes(t *testing.T, req RunRequest) []byte {
+	t.Helper()
+	run, err := req.Build()
+	if err != nil {
+		t.Fatalf("Build(%+v): %v", req, err)
+	}
+	p := run.NewProtocol()
+	res, err := sim.Run(run.Config, p)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", req, err)
+	}
+	raw, err := json.Marshal(NewResponse(req, res, run.Crashed, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestKeyedCrossKernelResponseBytes is the end-to-end acceptance suite:
+// for every scenario class, every kernel × worker count must serialize to
+// byte-identical canonical RunResponse JSON under the keyed schedule —
+// the exact bytes the service cache stores and serves.
+func TestKeyedCrossKernelResponseBytes(t *testing.T) {
+	scenarios := []struct {
+		name string
+		req  RunRequest
+	}{
+		// Large enough that dense rounds run sharded (numShards(49152)=3).
+		{"broadcast-sharded", RunRequest{Protocol: ProtoBroadcast, N: 49152, Seed: 11, MaxRounds: 220}},
+		{"consensus", RunRequest{Protocol: ProtoConsensus, N: 8192, Seed: 12, ABias: 0.2}},
+		{"async-offsets", RunRequest{Protocol: ProtoAsyncOffsets, N: 8192, Seed: 13, MaxRounds: 400}},
+		{"async-selfsync", RunRequest{Protocol: ProtoAsyncSelfSync, N: 8192, Seed: 14, MaxRounds: 400}},
+		{"crash-plan", RunRequest{Protocol: ProtoBroadcast, N: 8192, Seed: 15, CrashProb: 0.1}},
+		{"drop-no-self", RunRequest{Protocol: ProtoBroadcast, N: 4096, Seed: 16, NoSelfMessages: true, DropProb: 0.05}},
+	}
+	for _, sc := range scenarios {
+		sc.req.Schedule = ScheduleKeyed
+		ref := sc.req
+		ref.Kernel = KernelAuto
+		want := runResponseBytes(t, ref)
+		for _, kernel := range []string{KernelAuto, KernelPerAgent, KernelBatched} {
+			for _, shards := range []int{1, 2, 8} {
+				r := sc.req
+				r.Kernel = kernel
+				r.Shards = shards
+				if got := runResponseBytes(t, r); !bytes.Equal(got, want) {
+					t.Errorf("%s kernel=%s shards=%d: response bytes diverged\n got: %s\nwant: %s",
+						sc.name, kernel, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKeyedCrashPlanFromKey: keyed builds draw the crash plan from the
+// run key's crash stream — deterministic across Builds, different from
+// the legacy salted plan at the same seed.
+func TestKeyedCrashPlanFromKey(t *testing.T) {
+	keyed := RunRequest{N: 4096, Seed: 5, CrashProb: 0.1, Schedule: ScheduleKeyed}
+	r1, err := keyed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := keyed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Crashed == 0 || r1.Crashed != r2.Crashed {
+		t.Errorf("keyed crash sets differ or empty: %d vs %d", r1.Crashed, r2.Crashed)
+	}
+	if r1.Config.DrawSchedule != sim.ScheduleKeyed {
+		t.Error("keyed request built a legacy-schedule config")
+	}
+}

@@ -90,6 +90,13 @@ type Protocol struct {
 	n   int
 	rng *rng.RNG
 
+	// drawKey addresses every random draw under the keyed schedule
+	// (sim.ScheduleKeyed): clock offsets on StreamOffsets, phase
+	// finalizations on StreamSchedule cells indexed by phase position.
+	// Installed by the engine via SetDrawKey before Setup.
+	drawKey rng.Key
+	hasKey  bool
+
 	// base[a] is the agent's clock lead: local clock ℓ_a(g) = g + base[a].
 	// ModeKnownOffsets: base = c0 ∈ [0, D). ModeSelfSync: base =
 	// −(informedAt+2L), fixed when the agent is first informed.
@@ -239,6 +246,15 @@ func (p *Protocol) StageIIStats() []core.StageIIPhaseStat { return p.stageIIStat
 // reached (ModeSelfSync).
 func (p *Protocol) InformedDuringPrelude() int { return p.preludeDone }
 
+// SetDrawKey implements sim.KeyedProtocol: under the keyed draw
+// schedule the engine installs the run key before Setup, and every
+// protocol-internal draw is addressed through it instead of consumed
+// from the sequential protocol stream.
+func (p *Protocol) SetDrawKey(k rng.Key) {
+	p.drawKey = k
+	p.hasKey = true
+}
+
 // Setup implements sim.Protocol.
 func (p *Protocol) Setup(n int, r *rng.RNG) {
 	if n != p.params.N {
@@ -276,10 +292,19 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 	p.resetBulk()
 	switch p.mode {
 	case ModeKnownOffsets:
-		for a := 0; a < n; a++ {
-			p.base[a] = r.Intn(p.D)
-			p.hasBase[a] = true
-			p.classAdd(a)
+		if p.hasKey {
+			cell := p.drawKey.Cell(rng.StreamOffsets, 0)
+			for a := 0; a < n; a++ {
+				p.base[a] = int(cell.Uint32n(uint64(a), uint32(p.D)))
+				p.hasBase[a] = true
+				p.classAdd(a)
+			}
+		} else {
+			for a := 0; a < n; a++ {
+				p.base[a] = r.Intn(p.D)
+				p.hasBase[a] = true
+				p.classAdd(a)
+			}
 		}
 	case ModeSelfSync:
 		// Only the source has a clock at the start: informed at round 0,
@@ -451,11 +476,20 @@ func (p *Protocol) EndRound(g int) {
 
 func (p *Protocol) finalizeStageI(k int) {
 	p.sendersGen++ // opinions change below: invalidate cached sender lists
+	// Each phase position finalizes exactly once, so a StreamSchedule cell
+	// indexed by k and addressed by agent id is collision-free.
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(k))
 	for a := 0; a < p.n; a++ {
 		if !p.activated[a] || p.hasOpinion[a] || p.levelPos[a] != int32(k) {
 			continue
 		}
-		if p.rng.Uint64n(p.acc[a]&accTotalMask) < p.acc[a]>>32 {
+		var u uint64
+		if p.hasKey {
+			u = cell.Uint64n(uint64(a), p.acc[a]&accTotalMask)
+		} else {
+			u = p.rng.Uint64n(p.acc[a] & accTotalMask)
+		}
+		if u < p.acc[a]>>32 {
 			p.opinion[a] = channel.One
 		} else {
 			p.opinion[a] = channel.Zero
@@ -474,11 +508,19 @@ func (p *Protocol) finalizeStageI(k int) {
 func (p *Protocol) finalizeStageII(k, g int) {
 	p.sendersGen++ // opinions change below: invalidate cached sender lists
 	ph := p.phases[k]
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(k))
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
 		if total := int(p.acc[a] & accTotalMask); total >= ph.subset {
 			successful++
-			onesSub := p.rng.Hypergeometric(total, int(p.acc[a]>>32), ph.subset)
+			var onesSub int
+			if p.hasKey {
+				var rr rng.RNG
+				rr.Reseed(cell.Uint64(uint64(a)))
+				onesSub = rr.Hypergeometric(total, int(p.acc[a]>>32), ph.subset)
+			} else {
+				onesSub = p.rng.Hypergeometric(total, int(p.acc[a]>>32), ph.subset)
+			}
 			if 2*onesSub > ph.subset {
 				p.opinion[a] = channel.One
 			} else {

@@ -33,6 +33,15 @@ type Protocol struct {
 	n   int
 	rng *rng.RNG
 
+	// Keyed draw schedule (sim.KeyedProtocol): when the engine runs under
+	// sim.ScheduleKeyed it hands the run key over before Setup, and the
+	// phase-boundary draws below switch from the sequential protocol
+	// stream to cells of rng.StreamSchedule addressed by (round, agent) —
+	// a pure function of the scenario, independent of kernel and
+	// execution order.
+	drawKey rng.Key
+	hasKey  bool
+
 	activated  []bool
 	level      []int32 // Stage I phase in which the agent was activated
 	opinion    []channel.Bit
@@ -137,6 +146,12 @@ func (p *Protocol) Telemetry() *Telemetry { return &p.telem }
 
 // Target returns the correct opinion B.
 func (p *Protocol) Target() channel.Bit { return p.target }
+
+// SetDrawKey implements sim.KeyedProtocol.
+func (p *Protocol) SetDrawKey(k rng.Key) {
+	p.drawKey = k
+	p.hasKey = true
+}
 
 // Setup implements sim.Protocol.
 func (p *Protocol) Setup(n int, r *rng.RNG) {
@@ -275,14 +290,21 @@ func (p *Protocol) EndRound(round int) {
 // choice is order-invariant, which this form makes structural).
 func (p *Protocol) endStageIPhase(round int) {
 	cur := int32(p.curRef.Index)
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round))
 	newly, correct := 0, 0
 	for a := 0; a < p.n; a++ {
 		if !p.activated[a] || p.level[a] != cur {
 			continue
 		}
 		if !p.hasOpinion[a] {
+			var u uint64
+			if p.hasKey {
+				u = cell.Uint64n(uint64(a), p.acc[a]&accTotalMask)
+			} else {
+				u = p.rng.Uint64n(p.acc[a] & accTotalMask)
+			}
 			var bit channel.Bit
-			if p.rng.Uint64n(p.acc[a]&accTotalMask) < p.acc[a]>>32 {
+			if u < p.acc[a]>>32 {
 				bit = channel.One
 			} else {
 				bit = channel.Zero
@@ -346,6 +368,7 @@ func (p *Protocol) subsetSize() int {
 
 func (p *Protocol) endStageIIPhase(round int) {
 	g := p.subsetSize()
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round))
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
 		total := int(p.acc[a] & accTotalMask)
@@ -367,11 +390,22 @@ func (p *Protocol) endStageIIPhase(round int) {
 					p.opinion[a] = channel.One
 				case twice < total:
 					p.opinion[a] = channel.Zero
-				default: // exact tie over all samples
+				case p.hasKey: // exact tie over all samples
+					p.opinion[a] = channel.Bit(cell.Uint64(uint64(a)) & 1)
+				default:
 					p.opinion[a] = channel.Bit(p.rng.Uint64() & 1)
 				}
 			default:
-				onesSub := p.rng.Hypergeometric(total, ones, g)
+				var onesSub int
+				if p.hasKey {
+					// Multi-variate sampler: run it on an ephemeral stream
+					// seeded by the agent's addressed word.
+					var rr rng.RNG
+					rr.Reseed(cell.Uint64(uint64(a)))
+					onesSub = rr.Hypergeometric(total, ones, g)
+				} else {
+					onesSub = p.rng.Hypergeometric(total, ones, g)
+				}
 				if 2*onesSub > g {
 					p.opinion[a] = channel.One
 				} else {

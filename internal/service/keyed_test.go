@@ -1,0 +1,102 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"breathe/internal/api"
+)
+
+// TestKeyedCacheIsKernelBlind: under the keyed draw schedule the cache
+// key erases the kernel, so a result computed by one kernel must be
+// served — byte-identically, without executing anything — to a request
+// naming a different kernel and worker count. This is the payoff of the
+// keyed schedule at the service layer.
+func TestKeyedCacheIsKernelBlind(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	first := api.RunRequest{N: 2048, Seed: 3, Schedule: api.ScheduleKeyed, Kernel: api.KernelBatched}
+	j1, err := s.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j1)
+	if j1.State() != StateDone || j1.Cached {
+		t.Fatalf("first job: state %s cached %v err %v", j1.State(), j1.Cached, j1.Err())
+	}
+	_, raw1, ok := j1.Response()
+	if !ok {
+		t.Fatal("first job has no response")
+	}
+	executed := s.Stats().Executed
+
+	// Same run, different kernel and worker count: must be a cache hit.
+	second := api.RunRequest{N: 2048, Seed: 3, Schedule: api.ScheduleKeyed, Kernel: api.KernelPerAgent, Shards: 8}
+	j2, err := s.Submit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Cached || j2.State() != StateDone {
+		t.Fatalf("cross-kernel submission not served from cache: state %s cached %v", j2.State(), j2.Cached)
+	}
+	_, raw2, ok := j2.Response()
+	if !ok {
+		t.Fatal("cached job has no response")
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Errorf("cross-kernel cached response differs:\n%s\n%s", raw1, raw2)
+	}
+	if st := s.Stats(); st.Executed != executed {
+		t.Errorf("cross-kernel hit executed a kernel: %d -> %d", executed, st.Executed)
+	}
+
+	// The legacy schedule keeps kernels apart: the same switch must miss.
+	l1, err := s.Submit(api.RunRequest{N: 2048, Seed: 3, Kernel: api.KernelBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, l1)
+	l2, err := s.Submit(api.RunRequest{N: 2048, Seed: 3, Kernel: api.KernelPerAgent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, l2)
+	if l2.Cached {
+		t.Error("legacy cross-kernel submission served from cache — kernel is semantic there")
+	}
+}
+
+// TestDefaultScheduleApplied: a service configured with a default
+// schedule fills it into submissions that leave the field empty, and an
+// explicit schedule still wins.
+func TestDefaultScheduleApplied(t *testing.T) {
+	s := New(Config{Workers: 1, DefaultSchedule: api.ScheduleKeyed})
+	defer s.Close()
+
+	j, err := s.Submit(api.RunRequest{N: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	resp, _, ok := j.Response()
+	if !ok {
+		t.Fatalf("job ended %s: %v", j.State(), j.Err())
+	}
+	if resp.Request.Schedule != api.ScheduleKeyed {
+		t.Errorf("default schedule not applied: %q", resp.Request.Schedule)
+	}
+
+	j2, err := s.Submit(api.RunRequest{N: 512, Seed: 1, Schedule: api.ScheduleLegacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j2)
+	resp2, _, ok := j2.Response()
+	if !ok {
+		t.Fatalf("job ended %s: %v", j2.State(), j2.Err())
+	}
+	if resp2.Request.Schedule != api.ScheduleLegacy {
+		t.Errorf("explicit schedule overridden: %q", resp2.Request.Schedule)
+	}
+}

@@ -388,6 +388,22 @@ func (e *Engine) stepDense(m0, m1, round int) {
 // round on the same master-stream schedule, so keeping this in one place
 // is what keeps their draw schedules from drifting apart.
 func (e *Engine) denseRoundBegin(m0, m1 int) (int, int) {
+	e.denseStampAdvance()
+	if q := e.cfg.DropProb; q > 0 {
+		r := e.engineRNG
+		d0 := r.Binomial(m0, q)
+		d1 := r.Binomial(m1, q)
+		e.dropped += int64(d0 + d1)
+		m0 -= d0
+		m1 -= d1
+	}
+	return m0, m1
+}
+
+// denseStampAdvance advances the dense inbox stamp, allocating the inbox
+// on first use and clearing it on the 8-bit stamp wrap. Shared by the
+// legacy dense prologue and the keyed tree (keyed.go).
+func (e *Engine) denseStampAdvance() {
 	b := e.bulk
 	if b.dInbox == nil {
 		b.dInbox = make([]uint32, e.cfg.N)
@@ -399,15 +415,6 @@ func (e *Engine) denseRoundBegin(m0, m1 int) (int, int) {
 		}
 		b.dStamp = 1
 	}
-	if q := e.cfg.DropProb; q > 0 {
-		r := e.engineRNG
-		d0 := r.Binomial(m0, q)
-		d1 := r.Binomial(m1, q)
-		e.dropped += int64(d0 + d1)
-		m0 -= d0
-		m1 -= d1
-	}
-	return m0, m1
 }
 
 // denseRoundEnd books a dense round's aggregate accounting: every placed

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"breathe/internal/channel"
 	"breathe/internal/rng"
 )
 
@@ -52,6 +53,34 @@ func NewRandomCrashes(n int, p float64, round int, r *rng.RNG, protected ...int)
 			continue
 		}
 		if r.Bernoulli(p) {
+			m[a] = true
+		}
+	}
+	return &RandomCrashes{crashed: m, round: round}
+}
+
+// NewRandomCrashesKeyed samples the crash set from the run key's crash
+// stream: agent a crashes iff its addressed draw clears the Bernoulli(p)
+// threshold. The plan is a pure function of (key, p, round, protected) —
+// enabling or resizing it draws nothing from any simulation stream, unlike
+// the sequential NewRandomCrashes, whose RNG must be provisioned by the
+// caller.
+func NewRandomCrashesKeyed(n int, p float64, round int, key rng.Key, protected ...int) *RandomCrashes {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: crash probability %v outside [0,1]", p))
+	}
+	keep := make(map[int]bool, len(protected))
+	for _, a := range protected {
+		keep[a] = true
+	}
+	thresh := channel.FlipThreshold53(p)
+	cell := key.Cell(rng.StreamCrash, 0)
+	m := make(map[int]bool)
+	for a := 0; a < n; a++ {
+		if keep[a] {
+			continue
+		}
+		if cell.Uint64(uint64(a))>>11 < thresh {
 			m[a] = true
 		}
 	}

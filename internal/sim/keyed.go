@@ -1,0 +1,572 @@
+package sim
+
+// The keyed round kernel: one draw schedule for every execution strategy.
+//
+// Under Config.DrawSchedule == ScheduleKeyed the engine stops consuming
+// sequential streams and addresses every draw through rng.Key cells:
+//
+//	placement   (StreamPlacement)  by sender id (scatter) / bucket (tree)
+//	collision   (StreamCollision)  by receiver id / bucket slot
+//	noise       (StreamNoise)      by receiver id (the tree co-samples
+//	                               noise with the collision word, exactly
+//	                               like the legacy dense path)
+//	drops       (StreamDrop)       by sender id / aggregate thinning
+//	splits      (StreamSplit)      by receiver bucket
+//
+// Because a draw is a pure function of its address, the round's outcome is
+// decided entirely by (seed, round, sender multiset) — never by which
+// kernel runs it, in what order buckets execute, or on how many
+// goroutines. The engine therefore picks the *sampling regime* per round
+// as a pure function of (message count, n, configuration, protocol
+// capability), identically for every Config.Kernel:
+//
+//	quiet    no live senders
+//	scatter  one placement draw per message, count-based accept-one
+//	tree     exchangeable rounds (self-messages + uniform noise +
+//	         accumulator delivery) at dense scale: exact per-bucket
+//	         multinomial splits, in-bucket placement, branchless resolve
+//
+// Config.Kernel then only chooses the mechanism: per-agent collection and
+// delivery (Send/Receive — the reference interface) versus bulk collection
+// and delivery (BulkSenders/BulkDeliver/accumulators). Both mechanisms ask
+// for the same addresses and receptions commute, so results are
+// byte-identical — keyed_identity_test.go pins it — and Result.Paths
+// reports the regime, which is also kernel-independent.
+//
+// Unlike the legacy sharded kernel (shard.go) there is no per-shard
+// substream seeding and no serial master-stream prologue: the tree's
+// bucket decomposition is a pure function of n at denseWidth granularity,
+// each bucket's draws are self-contained, and workers claim buckets off an
+// atomic counter. Any bucket can be computed anywhere — a different
+// goroutine, a different execution order, in principle a different machine
+// — without exchanging generator state (keyed_shard_test.go).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"breathe/internal/channel"
+	"breathe/internal/rng"
+)
+
+// keyedState holds the keyed kernel's per-run capabilities and scratch.
+// Allocated lazily on the first keyed run of an engine; survives Reset.
+type keyedState struct {
+	// Per-run capabilities, refreshed by prepareKeyed.
+	uniform     bool
+	noiseThresh uint64
+	dropThresh  uint64
+	vshards     int
+
+	// Scatter-path inbox: per-receiver ones counters riding on the
+	// engine's stamped inCount/inStamp arrays, plus the touched list.
+	ones    []int32
+	touched []int32
+
+	// Per-agent collection scratch: the Send-scan's sender lists.
+	zeroBuf []int32
+	oneBuf  []int32
+
+	// Tree-path state: per-bucket split counts and per-worker scratch.
+	kc0, kc1 []int
+	runs     []denseRun
+	buckets  int
+	workers  int
+}
+
+// keyedBucketOrder is a test hook: when non-nil, the serial tree execution
+// processes buckets in the returned order instead of ascending. Results
+// must be identical for every order — that is the keyed schedule's
+// shard-invariance property, and keyed_shard_test.go exercises it.
+var keyedBucketOrder func(buckets int) []int
+
+// prepareKeyed decides the keyed run's capabilities. Unlike selectKernel,
+// nothing here depends on Config.Kernel (except the KernelBatched
+// capability check, which panics exactly like the legacy path): the kernel
+// only selects the collection/delivery mechanism inside stepKeyed.
+func (e *Engine) prepareKeyed(p Protocol) BulkProtocol {
+	bp, ok := p.(BulkProtocol)
+	capable := ok && bp.BulkEnabled() && e.cfg.N < maxBulkN
+	if e.cfg.Kernel == KernelBatched && !capable {
+		panic(fmt.Sprintf("sim: KernelBatched requires a bulk-capable protocol and config (protocol %q, bulk=%v, n=%d)",
+			p.Name(), ok, e.cfg.N))
+	}
+	if e.keyed == nil {
+		e.keyed = &keyedState{}
+	}
+	k := e.keyed
+	un, uniform := e.cfg.Channel.(channel.UniformNoise)
+	k.uniform = uniform
+	k.noiseThresh = 0
+	if uniform {
+		k.noiseThresh = channel.FlipThreshold53(un.UniformFlipProb())
+	}
+	k.dropThresh = channel.FlipThreshold53(e.cfg.DropProb)
+	if !capable {
+		return nil
+	}
+	if e.bulk == nil {
+		e.bulk = &bulkState{}
+	}
+	b := e.bulk
+	b.accs = bp.BulkAccumulators()
+	b.noiseThresh = k.noiseThresh
+	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil
+	if b.denseOK {
+		k.vshards = numShards(e.cfg.N)
+		k.buckets = (e.cfg.N + denseWidth - 1) / denseWidth
+		if cap(k.kc0) < k.buckets {
+			k.kc0 = make([]int, k.buckets)
+			k.kc1 = make([]int, k.buckets)
+		}
+		k.kc0, k.kc1 = k.kc0[:k.buckets], k.kc1[:k.buckets]
+		w := e.cfg.Shards
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > k.buckets {
+			w = k.buckets
+		}
+		k.workers = w
+		if len(k.runs) < w {
+			k.runs = make([]denseRun, w)
+		}
+	}
+	return bp
+}
+
+// stepKeyed runs one round under the keyed schedule. bp is nil when the
+// protocol or configuration cannot use the batched machinery at all; the
+// round then runs per-agent collection with scatter sampling, which has no
+// population cap.
+func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
+	round := e.round
+	k := e.keyed
+
+	var zeros, ones []int32
+	bulkCollect := bp != nil && e.cfg.Kernel != KernelPerAgent
+	if bulkCollect {
+		zeros, ones = bp.BulkSenders(round)
+		if f := e.cfg.Failures; f != nil {
+			b := e.bulk
+			b.liveZeros = filterLive(b.liveZeros[:0], zeros, f, round)
+			b.liveOnes = filterLive(b.liveOnes[:0], ones, f, round)
+			zeros, ones = b.liveZeros, b.liveOnes
+		}
+	} else {
+		zeros, ones = e.keyedSendScan(p, round)
+	}
+	m := len(zeros) + len(ones)
+	e.sent += int64(m)
+
+	switch {
+	case bp == nil:
+		// No batched machinery: the scatter regime on the reference
+		// interface is the only (and therefore trivially kernel-identical)
+		// path.
+		e.paths.PerAgent++
+		if m > 0 {
+			e.keyedScatter(p, nil, false, zeros, ones, round)
+		}
+	case m == 0:
+		e.paths.Quiet++
+	case e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round):
+		// The dense/sharded accounting split matches the legacy predicate —
+		// a pure function of (n, m) — so path counters agree byte-for-byte
+		// across kernels and worker counts.
+		sharded := k.vshards >= 2 && m >= shardMinMessages
+		if sharded {
+			e.paths.Sharded++
+		} else {
+			e.paths.Dense++
+		}
+		e.keyedTree(len(zeros), len(ones), round, sharded)
+	default:
+		e.paths.PerMessage++
+		e.keyedScatter(p, bp, bulkCollect, zeros, ones, round)
+	}
+
+	p.EndRound(round)
+}
+
+// keyedSendScan collects the round's live senders through the per-agent
+// reference interface: crash check before Send, exactly like the legacy
+// per-agent path, yielding the same sender multiset the bulk collection
+// reports after filtering.
+func (e *Engine) keyedSendScan(p Protocol, round int) (zeros, ones []int32) {
+	k := e.keyed
+	f := e.cfg.Failures
+	zeros, ones = k.zeroBuf[:0], k.oneBuf[:0]
+	for a := 0; a < e.cfg.N; a++ {
+		if f != nil && f.Crashed(a, round) {
+			continue
+		}
+		bit, ok := p.Send(a, round)
+		if !ok {
+			continue
+		}
+		if bit == 0 {
+			zeros = append(zeros, int32(a))
+		} else {
+			ones = append(ones, int32(a))
+		}
+	}
+	k.zeroBuf, k.oneBuf = zeros, ones
+	return zeros, ones
+}
+
+// keyedScatter is the keyed scatter regime: one placement draw per
+// message addressed by sender id, count-based accept-one addressed by
+// receiver id, noise addressed by receiver id. bulk selects the delivery
+// mechanism (BulkDeliver vs per-agent Receive); the draws are identical
+// either way.
+func (e *Engine) keyedScatter(p Protocol, bp BulkProtocol, bulk bool, zeros, ones []int32, round int) {
+	k := e.keyed
+	if k.ones == nil {
+		k.ones = make([]int32, e.cfg.N)
+	}
+	n := uint32(e.cfg.N)
+	stamp := int32(round)
+	self := e.cfg.AllowSelfMessages
+	drop := k.dropThresh
+	cPlace := e.key.Cell(rng.StreamPlacement, uint64(round))
+	cDrop := e.key.Cell(rng.StreamDrop, uint64(round))
+	k.touched = k.touched[:0]
+
+	throw := func(senders []int32, bit int32) {
+		for _, s := range senders {
+			if drop != 0 && cDrop.Uint64(uint64(s))>>11 < drop {
+				e.dropped++
+				continue
+			}
+			var dst uint32
+			if self {
+				dst = cPlace.Uint32n(uint64(s), n)
+			} else {
+				dst = cPlace.Uint32n(uint64(s), n-1)
+				if dst >= uint32(s) {
+					dst++
+				}
+			}
+			if e.inStamp[dst] != stamp {
+				e.inStamp[dst] = stamp
+				e.inCount[dst] = 1
+				k.ones[dst] = bit
+				k.touched = append(k.touched, int32(dst))
+			} else {
+				e.inCount[dst]++
+				k.ones[dst] += bit
+			}
+		}
+	}
+	throw(zeros, 0)
+	throw(ones, 1)
+
+	cColl := e.key.Cell(rng.StreamCollision, uint64(round))
+	cNoise := e.key.Cell(rng.StreamNoise, uint64(round))
+	f := e.cfg.Failures
+	ch := e.cfg.Channel
+	var b *bulkState
+	if bulk {
+		b = e.bulk
+		b.accR = b.accR[:0]
+		b.accB = b.accB[:0]
+	}
+	for _, dst := range k.touched {
+		cnt := uint64(e.inCount[dst])
+		on := uint64(k.ones[dst])
+		if f != nil && f.Crashed(int(dst), round) {
+			e.dropped += int64(cnt)
+			continue
+		}
+		e.accepted++
+		e.dropped += int64(cnt - 1)
+		var bit channel.Bit
+		if cnt == 1 {
+			bit = channel.Bit(on)
+		} else if cColl.Uint64n(uint64(dst), cnt) < on {
+			bit = 1
+		}
+		if k.uniform {
+			if k.noiseThresh != 0 && cNoise.Uint64(uint64(dst))>>11 < k.noiseThresh {
+				bit ^= 1
+			}
+		} else {
+			// Non-uniform channels draw from an ephemeral stream seeded by
+			// the receiver's noise-cell word, so per-message noise state
+			// stays addressed (and kernel-independent) too.
+			var rr rng.RNG
+			rr.Reseed(cNoise.Uint64(uint64(dst)))
+			bit = ch.Transmit(bit, &rr)
+		}
+		if bulk {
+			b.accR = append(b.accR, dst)
+			b.accB = append(b.accB, bit)
+		} else {
+			p.Receive(int(dst), bit, round)
+		}
+	}
+	if bulk {
+		bp.BulkDeliver(b.accR, b.accB, round)
+	}
+}
+
+// keyedTree is the keyed dense regime: an exact multinomial split of the
+// round's messages over the population's denseWidth-sized buckets, then
+// per-bucket placement and branchless resolve into the protocol
+// accumulators. Every bucket's draws come from its own cells of the
+// round's placement/collision/split streams, so bucket execution is
+// self-contained: serial, permuted or parallel execution yields the same
+// bits, with no per-shard seeding and no master-stream prologue.
+func (e *Engine) keyedTree(m0, m1, round int, parallel bool) {
+	k := e.keyed
+	e.denseStampAdvance()
+
+	if q := e.cfg.DropProb; q > 0 {
+		cDrop := e.key.Cell(rng.StreamDrop, uint64(round))
+		var rr rng.RNG
+		rr.Reseed(cDrop.Uint64(0))
+		d0 := rr.Binomial(m0, q)
+		rr.Reseed(cDrop.Uint64(1))
+		d1 := rr.Binomial(m1, q)
+		e.dropped += int64(d0 + d1)
+		m0 -= d0
+		m1 -= d1
+	}
+	placed := m0 + m1
+
+	// Conditional-binomial bucket split, bucket-addressed draws: the split
+	// values chain (that is what makes the multinomial exact) but each
+	// bucket's variates come from its own sub-cell, so the schedule never
+	// references a shard count — the decomposition is a function of n and
+	// denseWidth alone.
+	cSplit := e.key.Cell(rng.StreamSplit, uint64(round))
+	nB := k.buckets
+	rem0, rem1 := m0, m1
+	slotsLeft := e.cfg.N
+	for j := 0; j < nB; j++ {
+		bsize := denseWidth
+		if (j+1)*denseWidth > e.cfg.N {
+			bsize = e.cfg.N - j*denseWidth
+		}
+		var c0, c1 int
+		if bsize == slotsLeft {
+			c0, c1 = rem0, rem1
+		} else {
+			pb := float64(bsize) / float64(slotsLeft)
+			cs := cSplit.Sub(uint64(j))
+			var rr rng.RNG
+			rr.Reseed(cs.Uint64(0))
+			c0 = rr.Binomial(rem0, pb)
+			rr.Reseed(cs.Uint64(1))
+			c1 = rr.Binomial(rem1, pb)
+		}
+		rem0 -= c0
+		rem1 -= c1
+		slotsLeft -= bsize
+		k.kc0[j] = c0
+		k.kc1[j] = c1
+	}
+
+	var accepted int64
+	if !parallel || k.workers <= 1 {
+		d := &k.runs[0]
+		d.accepted = 0
+		if keyedBucketOrder != nil {
+			for _, j := range keyedBucketOrder(nB) {
+				e.keyedBucket(d, j, round)
+			}
+		} else {
+			for j := 0; j < nB; j++ {
+				e.keyedBucket(d, j, round)
+			}
+		}
+		accepted = d.accepted
+	} else {
+		// Workers claim buckets off an atomic counter — dynamic, racy
+		// assignment, which is safe precisely because a bucket's draws are
+		// a pure function of its address.
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(k.workers)
+		for w := 0; w < k.workers; w++ {
+			d := &k.runs[w]
+			d.accepted = 0
+			go func(d *denseRun) {
+				defer wg.Done()
+				for {
+					j := int(atomic.AddInt64(&next, 1)) - 1
+					if j >= nB {
+						return
+					}
+					e.keyedBucket(d, j, round)
+				}
+			}(d)
+		}
+		wg.Wait()
+		for w := 0; w < k.workers; w++ {
+			accepted += k.runs[w].accepted
+		}
+	}
+	e.denseRoundEnd(placed, accepted)
+}
+
+// keyedBucket places and resolves one receiver bucket of a keyed tree
+// round, using d only as scratch. All randomness comes from the bucket's
+// sub-cells of the round's placement and collision streams; all writes
+// stay inside the bucket's slot range plus d.
+func (e *Engine) keyedBucket(d *denseRun, j, round int) {
+	b := e.bulk
+	k := e.keyed
+	n := e.cfg.N
+	blo := j * denseWidth
+	bsize := denseWidth
+	if blo+bsize > n {
+		bsize = n - blo
+	}
+	c0, c1 := k.kc0[j], k.kc1[j]
+
+	d.spill = d.spill[:0]
+	d.deferred = d.deferred[:0]
+
+	stamp := b.dStamp
+	thresh := b.noiseThresh
+	f := e.cfg.Failures
+
+	cp := e.key.Cell(rng.StreamPlacement, uint64(round)).Sub(uint64(j))
+	cc := e.key.Cell(rng.StreamCollision, uint64(round)).Sub(uint64(j))
+
+	pow2 := bsize&(bsize-1) == 0
+	nd0, nd1 := 0, 0
+	if pow2 {
+		nd0, nd1 = (c0+3)/4, (c1+3)/4
+	}
+	need := nd0 + nd1 + bsize
+	if cap(d.drawBuf) < need {
+		d.drawBuf = make([]uint64, need+denseWidth)
+	}
+	buf := d.drawBuf[:need]
+	cp.Fill(buf[:nd0+nd1], 0)
+	cc.Fill(buf[nd0+nd1:], 0)
+
+	inbox := b.dInbox[blo : blo+bsize : blo+bsize]
+	if pow2 {
+		d.placePow2(stamp, blo, inbox, c0, 1, buf[:nd0])
+		d.placePow2(stamp, blo, inbox, c1, 1<<12|1, buf[nd0:nd0+nd1])
+	} else {
+		d.keyedPlaceAny(stamp, blo, inbox, c0, 1, cp, 0)
+		d.keyedPlaceAny(stamp, blo, inbox, c1, 1<<12|1, cp, uint64(c0))
+	}
+
+	// Branchless resolve, identical in structure to the legacy dense scan:
+	// low 11 bits of the slot's word drive the Lemire accept-one draw, the
+	// top 53 bits the noise flip; rejection retries re-address into the
+	// collision cell above the per-slot base words.
+	rbuf := buf[nd0+nd1:]
+	accSlice := b.accs[blo : blo+bsize : blo+bsize]
+	accepted := int64(0)
+	for i := range inbox {
+		v := inbox[i]
+		occ := uint64(0)
+		if v>>24 == stamp {
+			occ = 1
+		}
+		cnt := uint64(v & 0xfff)
+		on := uint64(v >> 12 & 0xfff)
+		if occ == 1 && f != nil && f.Crashed(blo+i, round) {
+			occ = 0
+		}
+		if cnt >= 2048 && occ == 1 {
+			d.deferred = append(d.deferred, int32(i))
+			continue
+		}
+		x := rbuf[i]
+		prod := (x & 2047) * cnt
+		if prod&2047 < cnt && occ == 1 && on != 0 && on != cnt {
+			x, prod = keyedRedraw(cc, uint64(i), x, prod, cnt)
+		}
+		bit := uint64(0)
+		if prod>>11 < on {
+			bit = 1
+		}
+		if x>>11 < thresh {
+			bit ^= 1
+		}
+		accSlice[i] += (bit<<32 | 1) * occ
+		accepted += int64(occ)
+	}
+	d.accepted += accepted
+
+	for _, t := range d.deferred {
+		e.keyedResolveDeferred(d, cc, blo, int(t))
+		d.accepted++
+	}
+}
+
+// keyedPlaceAny is the keyed general-size placement (a population's tail
+// bucket): one addressed unbiased draw per placement, ones offset past the
+// zeros so the two classes never share addresses.
+func (d *denseRun) keyedPlaceAny(stamp uint32, lo int, inbox []uint32, k int, inc uint32, cp rng.Cell, off uint64) {
+	st := stamp << 24
+	for i := 0; i < k; i++ {
+		slot := int(cp.Uint32n(off+uint64(i), uint32(len(inbox))))
+		v := inbox[slot]
+		m := uint32(0)
+		if v>>24 == stamp {
+			m = ^uint32(0)
+		}
+		nv := (v&m | st&^m) + inc
+		if nv&0xfff == 0 {
+			nv -= inc
+			d.spillAdd(int32(lo+slot), inc>>12)
+		}
+		inbox[slot] = nv
+	}
+}
+
+// keyedRedraw completes the Lemire rejection rule for a collided slot's
+// accept-one draw with addressed retries: attempt a of slot t reads
+// counter a·denseWidth + t, above every slot's base word.
+func keyedRedraw(cc rng.Cell, slot, x, prod, cnt uint64) (uint64, uint64) {
+	reject := 2048 % cnt
+	for a := uint64(1); prod&2047 < reject; a++ {
+		x = cc.Uint64(a*denseWidth + slot)
+		prod = (x & 2047) * cnt
+	}
+	return x, prod
+}
+
+// keyedResolveDeferred resolves a slot whose arrival count outgrew the
+// 11-bit accept draw or saturated the packed counter, from an ephemeral
+// stream seeded by a reserved high counter of the bucket's collision cell.
+func (e *Engine) keyedResolveDeferred(d *denseRun, cc rng.Cell, blo, t int) {
+	b := e.bulk
+	slot := blo + t
+	v := b.dInbox[slot]
+	cnt := uint64(v & 0xfff)
+	on := uint64(v >> 12 & 0xfff)
+	for _, s := range d.spill {
+		if s.slot == int32(slot) {
+			cnt += uint64(s.count)
+			on += uint64(s.ones)
+		}
+	}
+	var rr rng.RNG
+	rr.Reseed(cc.Uint64(1<<60 | uint64(t)))
+	var bit uint64
+	switch {
+	case on == 0:
+	case on == cnt:
+		bit = 1
+	default:
+		if rr.Uint64n(cnt) < on {
+			bit = 1
+		}
+	}
+	if rr.Uint64()>>11 < b.noiseThresh {
+		bit ^= 1
+	}
+	b.accs[slot] += bit<<32 | 1
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"breathe/internal/channel"
+)
+
+// BenchmarkKeyedDenseRound measures the keyed tree regime on the dense
+// design workload (one million agents all sending, serial execution) —
+// directly comparable to BenchmarkDenseRound, which runs the identical
+// workload under the legacy schedule.
+func BenchmarkKeyedDenseRound(b *testing.B) {
+	p := &bulkChatter{rounds: 1 << 30}
+	cfg := Config{
+		N: 1_000_000, Channel: channel.NewBSC(0.2), Seed: 1,
+		AllowSelfMessages: true, Kernel: KernelBatched, Shards: 1,
+		MaxRounds: 1 << 30, DrawSchedule: ScheduleKeyed,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.rounds = b.N
+	b.ResetTimer()
+	res := e.Run(p)
+	b.StopTimer()
+	b.ReportMetric(float64(res.MessagesSent)/float64(b.N), "msgs/round")
+}
+
+// BenchmarkKeyedDenseOverhead runs the million-agent all-senders workload
+// serially under both draw schedules and reports keyed/legacy − 1 in
+// ns/agent-round. The keyed schedule's acceptance budget is ≤ +15% on
+// this path: addressed fmix64 draws replace resident xoshiro streams, and
+// the per-bucket split adds two small binomials per bucket per round.
+func BenchmarkKeyedDenseOverhead(b *testing.B) {
+	const n, rounds = 1_000_000, 40
+	run := func(ds DrawSchedule) float64 {
+		e, err := NewEngine(Config{
+			N: n, Channel: channel.NewBSC(0.2), Seed: 1,
+			AllowSelfMessages: true, Kernel: KernelBatched,
+			Shards: 1, MaxRounds: 1 << 30, DrawSchedule: ds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := &bulkChatter{rounds: rounds}
+		start := time.Now()
+		e.Run(p)
+		wall := time.Since(start)
+		if e.ShardedRounds() != rounds {
+			b.Fatalf("schedule=%d: %d of %d rounds sharded", ds, e.ShardedRounds(), rounds)
+		}
+		return float64(wall.Nanoseconds()) / (float64(n) * rounds)
+	}
+	for i := 0; i < b.N; i++ {
+		legacyAR := run(ScheduleLegacy)
+		keyedAR := run(ScheduleKeyed)
+		b.ReportMetric(legacyAR, "legacy-ns/agent-round")
+		b.ReportMetric(keyedAR, "keyed-ns/agent-round")
+		b.ReportMetric(keyedAR/legacyAR-1, "overhead")
+	}
+}

@@ -48,6 +48,18 @@ type Protocol interface {
 	Opinion(a int) (bit channel.Bit, ok bool)
 }
 
+// KeyedProtocol is an optional extension of Protocol: implementations
+// receive the run's draw-schedule root before Setup when the engine runs
+// under ScheduleKeyed, and must then take their phase-boundary randomness
+// from addressed cells of the key (rng.StreamSchedule, rng.StreamOffsets)
+// instead of consuming the sequential protocol stream, so protocol draws
+// are a pure function of (seed, round, agent) independent of kernel and
+// execution order. Protocols without a key keep the legacy sequential
+// behaviour.
+type KeyedProtocol interface {
+	SetDrawKey(k rng.Key)
+}
+
 // FailurePlan optionally injects crash faults: a crashed agent neither
 // sends nor receives from its crash round on. Used by robustness tests;
 // the paper's model itself has no crashes.
@@ -88,6 +100,22 @@ const (
 	KernelBatched
 )
 
+// DrawSchedule selects how a run's randomness is addressed.
+type DrawSchedule int
+
+const (
+	// ScheduleLegacy (the zero value) is the sequential reseed-chain
+	// schedule: each kernel path consumes the engine streams in its own
+	// order, so results are only comparable within one kernel. All
+	// pre-existing goldens pin this schedule.
+	ScheduleLegacy DrawSchedule = iota
+	// ScheduleKeyed is the keyed counter-mode schedule (rng.Key): every
+	// draw is a pure function of (seed, subsystem stream, round, index),
+	// so every kernel produces bit-identical results and the kernel knob
+	// becomes a pure performance choice. See keyed.go.
+	ScheduleKeyed
+)
+
 // Config assembles a simulation run.
 type Config struct {
 	// N is the population size (>= 2).
@@ -122,8 +150,14 @@ type Config struct {
 	// to the same prefix of an uncanceled run. Use ctx.Done() to couple a
 	// run to a context.
 	Cancel <-chan struct{}
-	// Kernel selects the round-loop strategy (default KernelAuto).
+	// Kernel selects the round-loop strategy (default KernelAuto). Under
+	// ScheduleLegacy the kernel choice changes which bits a run produces;
+	// under ScheduleKeyed it is a pure performance knob — every kernel
+	// yields byte-identical results.
 	Kernel Kernel
+	// DrawSchedule selects the randomness addressing scheme (default
+	// ScheduleLegacy, which all pre-existing goldens pin).
+	DrawSchedule DrawSchedule
 	// Shards sets the worker-goroutine count of the intra-run sharded
 	// kernel: 0 means GOMAXPROCS, 1 forces serial execution. Results are
 	// bit-identical for every value — the population is decomposed into
@@ -151,6 +185,9 @@ func (c Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("sim: negative Shards %d", c.Shards)
+	}
+	if c.DrawSchedule != ScheduleLegacy && c.DrawSchedule != ScheduleKeyed {
+		return fmt.Errorf("sim: unknown draw schedule %d", c.DrawSchedule)
 	}
 	return nil
 }
@@ -297,6 +334,9 @@ type Engine struct {
 
 	bulk *bulkState // lazily allocated batched-kernel buffers
 
+	key   rng.Key     // keyed-schedule root, valid when DrawSchedule == ScheduleKeyed
+	keyed *keyedState // lazily allocated keyed-schedule scratch
+
 	started  bool
 	round    int
 	sent     int64
@@ -333,6 +373,14 @@ func (e *Engine) Reset(seed uint64) {
 	e.engineRNG = root.Split()
 	e.channelRNG = root.Split()
 	e.protoRNG = root.Split()
+	if e.cfg.DrawSchedule == ScheduleKeyed {
+		// Under the keyed schedule the engine and channel streams are
+		// unused — every engine-side draw is addressed through e.key — and
+		// the protocol's sequential stream is seeded from the protocol
+		// subsystem stream so it cannot collide with any engine draw.
+		e.key = rng.NewKey(seed)
+		e.protoRNG = rng.New(e.key.Cell(rng.StreamProtocol, 0).Uint64(0))
+	}
 	for i := range e.inStamp {
 		e.inStamp[i] = -1
 	}
@@ -398,6 +446,14 @@ func (e *Engine) MessagesDropped() int64 { return e.dropped }
 // Observer callbacks; the full-run breakdown is in Result.Paths).
 func (e *Engine) Paths() PathRounds { return e.paths }
 
+// DrawKey returns the run's keyed draw-schedule root; ok is false under
+// the legacy schedule. Observers that need randomness should derive it
+// from rng.StreamObserver cells of this key, so tracing draws nothing
+// from any simulation stream.
+func (e *Engine) DrawKey() (rng.Key, bool) {
+	return e.key, e.cfg.DrawSchedule == ScheduleKeyed
+}
+
 // ShardedRounds reports how many rounds so far executed on the sharded
 // dense path (diagnostics and tests; the count is a pure function of the
 // run, independent of Config.Shards).
@@ -413,9 +469,21 @@ func (e *Engine) Run(p Protocol) Result {
 	e.started = true
 
 	n := e.cfg.N
+	keyed := e.cfg.DrawSchedule == ScheduleKeyed
+	if keyed {
+		if kp, ok := p.(KeyedProtocol); ok {
+			kp.SetDrawKey(e.key)
+		}
+	}
 	p.Setup(n, e.protoRNG)
 
-	bp, batched := e.selectKernel(p)
+	var bp BulkProtocol
+	var batched bool
+	if keyed {
+		bp = e.prepareKeyed(p)
+	} else {
+		bp, batched = e.selectKernel(p)
+	}
 
 	res := Result{Protocol: p.Name()}
 	canceled := false
@@ -439,9 +507,12 @@ func (e *Engine) Run(p Protocol) Result {
 				break
 			}
 		}
-		if batched {
+		switch {
+		case keyed:
+			e.stepKeyed(p, bp)
+		case batched:
 			e.stepBulk(bp)
-		} else {
+		default:
 			e.paths.PerAgent++
 			e.step(p)
 		}

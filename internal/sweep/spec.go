@@ -46,8 +46,12 @@ type Spec struct {
 	// BaseSeed is the first seed of every cell.
 	BaseSeed uint64 `json:"base_seed"`
 	// Kernel selects the execution strategy for every cell (default
-	// auto). Part of every run's hash.
+	// auto). Part of every run's hash under the legacy schedule; a pure
+	// perf knob under the keyed one.
 	Kernel string `json:"kernel,omitempty"`
+	// Schedule selects the draw schedule for every cell: legacy | keyed
+	// (default legacy). Part of every run's hash.
+	Schedule string `json:"schedule,omitempty"`
 	// DropProb is the per-message loss probability shared by every cell.
 	DropProb float64 `json:"drop_prob,omitempty"`
 	// NoSelfMessages switches every cell to the thesis model's
@@ -127,6 +131,7 @@ func (s Spec) Cells() ([]Cell, error) {
 							CrashProb:      crash,
 							CrashRound:     s.CrashRound,
 							Kernel:         s.Kernel,
+							Schedule:       s.Schedule,
 							Shards:         s.Shards,
 						}
 						req.Normalize()
