@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"breathe/internal/lint"
+)
+
+// TestModuleIsClean runs the full suite over the real module, test files
+// included — the same sweep CI runs. A diagnostic here means an
+// invariant regressed (or a new exception needs its annotation and
+// reason).
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := lint.Main("../..", true, []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"breathe/internal/lint"
+)
+
+// The unitchecker half: when the go command drives breathevet as a
+// vettool it invokes the binary once per package with a JSON config
+// file describing the unit of work — sources, the import→export-data
+// map, and fact (vetx) files for dependencies. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker closely enough that
+// `go vet -vettool=breathevet` gets incremental caching and test-variant
+// coverage from the go command for free.
+
+// vetConfig is the go command's per-package vet configuration (the
+// subset breathevet consumes; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet unit and returns the process exit code:
+// 0 clean, 2 diagnostics, 1 internal failure.
+func unitcheck(cfgPath string, analyzers []*lint.Analyzer) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "breathevet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "breathevet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	files, err := lint.ParseDir(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, nil)
+		}
+		fmt.Fprintf(os.Stderr, "breathevet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Rebuild the loader's resolve table from the config: source import
+	// path → canonical path (ImportMap) → export data (PackageFile).
+	resolve := make(map[string]*lint.ListedPackage, len(cfg.ImportMap)+len(cfg.PackageFile))
+	for canon, file := range cfg.PackageFile {
+		resolve[canon] = &lint.ListedPackage{ImportPath: canon, Export: file}
+	}
+	for src, canon := range cfg.ImportMap {
+		if dep, ok := resolve[canon]; ok {
+			resolve[src] = dep
+		}
+	}
+
+	pkg, info, err := lint.Check(lint.CanonicalPath(cfg.ImportPath), fset, files, lint.NewExportImporter(fset, resolve))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, nil)
+		}
+		fmt.Fprintf(os.Stderr, "breathevet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	facts := lint.NewFactStore()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a dependency with no facts is a dependency with no draws recorded
+		}
+		var perAnalyzer map[string]json.RawMessage
+		if json.Unmarshal(blob, &perAnalyzer) != nil {
+			continue
+		}
+		for name, b := range perAnalyzer {
+			facts.Set(depPath, name, b)
+		}
+	}
+
+	var findings []lint.Finding
+	for _, a := range analyzers {
+		pass := &lint.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ImportPath: cfg.ImportPath,
+			Module:     modulePath(&cfg),
+		}
+		pass.SetFacts(facts)
+		pass.Report = func(d lint.Diagnostic) {
+			findings = append(findings, lint.Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "breathevet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+
+	if code := writeVetx(cfg.VetxOutput, facts.Package(cfg.ImportPath)); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos.Offset < findings[j].Pos.Offset })
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2
+}
+
+// modulePath returns the module the unit belongs to; older go commands
+// omit ModulePath from the config, in which case the first path element
+// serves (the breathe module root has a single-element path).
+func modulePath(cfg *vetConfig) string {
+	if cfg.ModulePath != "" {
+		return cfg.ModulePath
+	}
+	path := lint.CanonicalPath(cfg.ImportPath)
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// writeVetx persists the unit's facts (possibly empty — the go command
+// requires the file to exist either way).
+func writeVetx(path string, perAnalyzer map[string]json.RawMessage) int {
+	if path == "" {
+		return 0
+	}
+	if perAnalyzer == nil {
+		perAnalyzer = map[string]json.RawMessage{}
+	}
+	blob, err := json.Marshal(perAnalyzer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "breathevet: marshaling facts: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, blob, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "breathevet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// buildFingerprint identifies this build of the tool for the go
+// command's action cache: editing an analyzer must invalidate cached
+// vet results, so the fingerprint is a hash of the executable itself.
+func buildFingerprint() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "devel"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "devel"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "devel"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

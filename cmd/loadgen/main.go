@@ -45,6 +45,7 @@ func main() {
 		protocol = fs.String("protocol", "broadcast", "protocol for the load mix")
 		cancels  = fs.Int("cancels", 1, "mid-run cancel exercises")
 		verify   = fs.Bool("verify", true, "verify a cached response is byte-identical to the fresh one")
+		seed     = fs.Uint64("seed", 2_000_000, "base seed for the verify exercise (bump it when re-running against a long-lived daemon: the first submission must be a genuine miss)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -57,6 +58,7 @@ func main() {
 		protocol: *protocol,
 		cancels:  *cancels,
 		verify:   *verify,
+		seed:     *seed,
 		client:   &http.Client{Timeout: 5 * time.Minute},
 		out:      os.Stdout,
 	}
@@ -75,6 +77,7 @@ type loadgen struct {
 	protocol string
 	cancels  int
 	verify   bool
+	seed     uint64
 	client   *http.Client
 	out      io.Writer
 
@@ -139,10 +142,10 @@ func (g *loadgen) run() error {
 		exercises = append(exercises, fmt.Sprintf("%d mid-run cancel(s) ok", g.cancels))
 	}
 	if g.verify {
-		// A time-derived seed keeps the exercise re-runnable against a
-		// long-lived daemon: the first submission must be a genuine miss.
-		vseed := 2_000_000 + uint64(time.Now().UnixNano())%1_000_000_000
-		if err := g.verifyExercise(vseed); err != nil {
+		// The seed is a flag, not a clock read: the same invocation must
+		// produce the same request bytes (a fresh daemon per run is the
+		// common case; -seed handles re-runs against a long-lived one).
+		if err := g.verifyExercise(g.seed); err != nil {
 			return fmt.Errorf("byte-identity check: %w", err)
 		}
 		exercises = append(exercises, "cached bytes == fresh bytes")

@@ -508,7 +508,7 @@ func (p *Protocol) finalizeStageI(k int) {
 func (p *Protocol) finalizeStageII(k, g int) {
 	p.sendersGen++ // opinions change below: invalidate cached sender lists
 	ph := p.phases[k]
-	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(k))
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(k)) //breathe:stream-ok a phase position is Stage I or Stage II, never both: exactly one finalizer addresses cell k
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
 		if total := int(p.acc[a] & accTotalMask); total >= ph.subset {

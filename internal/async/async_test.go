@@ -159,11 +159,11 @@ func TestGlobalPhaseWindowsDisjoint(t *testing.T) {
 		if _, err := sim.Run(sim.Config{N: n, Channel: channel.FromEpsilon(0.3), Seed: 3}, tap); err != nil {
 			t.Fatal(err)
 		}
-		for g, phases := range tap.sendPhase {
+		for g, phases := range tap.sendPhase { //breathe:order-ok each round is asserted independently
 			if len(phases) != 1 {
 				t.Fatalf("%s: round %d has sends from %d distinct phases", mode, g, len(phases))
 			}
-			for k := range phases {
+			for k := range phases { //breathe:order-ok each phase is asserted independently
 				if got := p.phaseOfGlobal(g); got != k {
 					t.Fatalf("%s: round %d attributed to phase %d but senders were in %d", mode, g, got, k)
 				}

@@ -49,9 +49,7 @@ func (c *bulkCrossCheck) Send(a, g int) (channel.Bit, bool) {
 	if g != c.lastG {
 		c.lastG = g
 		zeros, ones := c.Protocol.BulkSenders(g)
-		for k := range c.exp {
-			delete(c.exp, k)
-		}
+		clear(c.exp)
 		for _, s := range zeros {
 			c.exp[s] = channel.Zero
 		}
@@ -73,7 +71,7 @@ func (c *bulkCrossCheck) Send(a, g int) (channel.Bit, bool) {
 
 func TestBulkSendersMatchPerAgentSend(t *testing.T) {
 	const n = 512
-	for name, build := range asyncBuilders(n) {
+	for name, build := range asyncBuilders(n) { //breathe:order-ok independent cross-check per builder
 		p, err := build()
 		if err != nil {
 			t.Fatal(err)
@@ -95,7 +93,7 @@ func TestBulkSendersMatchPerAgentSend(t *testing.T) {
 
 func TestAsyncBatchedDeterminism(t *testing.T) {
 	const n = 256
-	for name, build := range asyncBuilders(n) {
+	for name, build := range asyncBuilders(n) { //breathe:order-ok independent determinism check per builder
 		run := func(seed uint64) sim.Result {
 			p, err := build()
 			if err != nil {
@@ -127,7 +125,7 @@ func TestAsyncBatchedMatchesPerAgentStatistically(t *testing.T) {
 	// kernel, so both batched paths are pinned here.
 	const n, seeds = 512, 10
 	for _, self := range []bool{false, true} {
-		for name, build := range asyncBuilders(n) {
+		for name, build := range asyncBuilders(n) { //breathe:order-ok independent comparison per builder
 			type stat struct {
 				sent, accepted float64
 				success        int

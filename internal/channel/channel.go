@@ -127,6 +127,9 @@ func (c *BSC) TransmitBulk(bits []Bit, r *rng.RNG) {
 		// short-circuits before drawing — must consume no draws: a BSC
 		// with flip probability 0 is Noiseless draw for draw, which is
 		// what lets ε = 0.5 run as an honest BSC without changing a bit.
+		// Delegating makes the equivalence literal, and Noiseless carries
+		// the machine-checked proof of drawlessness.
+		Noiseless{}.TransmitBulk(bits, r)
 		return
 	}
 	for i := range bits {
@@ -169,10 +172,14 @@ func (c *BSC) Name() string { return fmt.Sprintf("bsc(p=%.4g)", c.p) }
 type Noiseless struct{}
 
 // Transmit implements Channel.
+//
+//breathe:drawfree
 func (Noiseless) Transmit(b Bit, _ *rng.RNG) Bit { return b }
 
 // TransmitBulk implements BulkTransmitter: a no-op, consuming no draws,
 // exactly like the per-bit Transmit.
+//
+//breathe:drawfree
 func (Noiseless) TransmitBulk([]Bit, *rng.RNG) {}
 
 // UniformFlipProb implements UniformNoise.

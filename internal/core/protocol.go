@@ -368,7 +368,7 @@ func (p *Protocol) subsetSize() int {
 
 func (p *Protocol) endStageIIPhase(round int) {
 	g := p.subsetSize()
-	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round))
+	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round)) //breathe:stream-ok a round ends at most one phase, and that phase is Stage I or Stage II, never both
 	successful, correct := 0, 0
 	for a := 0; a < p.n; a++ {
 		total := int(p.acc[a] & accTotalMask)

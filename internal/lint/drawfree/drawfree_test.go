@@ -1,0 +1,13 @@
+package drawfree_test
+
+import (
+	"testing"
+
+	"breathe/internal/lint/drawfree"
+	"breathe/internal/lint/linttest"
+)
+
+func TestDrawfree(t *testing.T) {
+	linttest.Run(t, "testdata", drawfree.Analyzer,
+		"breathe/internal/channel", "breathe/internal/sim")
+}

@@ -1,0 +1,13 @@
+// Package channel is a fixture dependency: its summary facts must
+// reach importers through the fact store.
+package channel
+
+import "breathe/internal/rng"
+
+// Flip draws from the stream.
+func Flip(r *rng.RNG) bool { return r.Float64() < 0.5 }
+
+// Zero is the p = 0 short-circuit: no draw on any path.
+//
+//breathe:drawfree
+func Zero(*rng.RNG) bool { return false }

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one resolved diagnostic: a position, the analyzer that
+// produced it, and the message.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers executes every analyzer over every package of the
+// program, in the program's dependency order so fact importers always
+// run after fact exporters. Diagnostics are deduplicated — a package
+// and its in-package test build share source files, and one finding in
+// a shared file must not count twice — and returned in positional
+// order.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	facts := NewFactStore()
+	var findings []Finding
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       prog.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ImportPath: pkg.ImportPath,
+				Module:     prog.Module,
+				facts:      facts,
+			}
+			pass.Report = func(d Diagnostic) {
+				f := Finding{Analyzer: a.Name, Pos: prog.Fset.Position(d.Pos), Message: d.Message}
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					findings = append(findings, f)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Main is the standalone entry point: load patterns from dir and run
+// the analyzers. includeTests extends the load to test builds, which is
+// how CI runs — a draw hiding in a test helper corrupts goldens just as
+// surely as one in the kernel.
+func Main(dir string, includeTests bool, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	prog, err := Load(dir, includeTests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(prog, analyzers)
+}

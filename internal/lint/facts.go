@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FactStore holds per-package, per-analyzer facts: opaque JSON blobs an
+// analyzer exports when it finishes a package and imports when it later
+// analyzes a dependent. The driver keys the store by the listed import
+// path (test variants separate from their base package, so an
+// in-package test build sees facts matching the symbols it links).
+//
+// In vettool mode the store is rebuilt per process from the vetx files
+// the go command hands us; in standalone mode one store spans the whole
+// topological run.
+type FactStore struct {
+	// packages maps listed import path -> analyzer name -> blob.
+	packages map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{packages: make(map[string]map[string]json.RawMessage)}
+}
+
+// Set records the fact blob for (pkgPath, analyzer).
+func (s *FactStore) Set(pkgPath, analyzer string, blob json.RawMessage) {
+	m := s.packages[pkgPath]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		s.packages[pkgPath] = m
+	}
+	m[analyzer] = blob
+}
+
+// Get returns the fact blob for (pkgPath, analyzer). A miss under the
+// exact path retries the canonical path, so a test variant that imports
+// the plain build of a dependency still finds its facts.
+func (s *FactStore) Get(pkgPath, analyzer string) (json.RawMessage, bool) {
+	if m, ok := s.packages[pkgPath]; ok {
+		if b, ok := m[analyzer]; ok {
+			return b, true
+		}
+	}
+	if c := CanonicalPath(pkgPath); c != pkgPath {
+		if m, ok := s.packages[c]; ok {
+			if b, ok := m[analyzer]; ok {
+				return b, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Package returns every analyzer blob recorded for pkgPath, for
+// serialization into a vetx file.
+func (s *FactStore) Package(pkgPath string) map[string]json.RawMessage {
+	return s.packages[pkgPath]
+}
+
+// ExportFact marshals v and records it as the calling analyzer's fact
+// for the pass's package.
+func (p *Pass) ExportFact(v any) error {
+	if p.facts == nil {
+		return nil
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("lint: %s: exporting fact for %s: %w", p.Analyzer.Name, p.ImportPath, err)
+	}
+	p.facts.Set(p.ImportPath, p.Analyzer.Name, blob)
+	return nil
+}
+
+// ImportFact unmarshals the calling analyzer's fact for a dependency
+// into v, reporting whether one was recorded.
+func (p *Pass) ImportFact(pkgPath string, v any) bool {
+	if p.facts == nil {
+		return false
+	}
+	blob, ok := p.facts.Get(pkgPath, p.Analyzer.Name)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(blob, v) == nil
+}
+
+// SetFacts installs the driver's store on the pass (driver use only).
+func (p *Pass) SetFacts(s *FactStore) { p.facts = s }

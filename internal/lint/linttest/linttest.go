@@ -1,0 +1,269 @@
+// Package linttest is the analysistest counterpart for the lint
+// framework: it loads small fixture packages from a testdata tree,
+// runs one analyzer over them (dependencies first, so facts flow), and
+// compares the diagnostics against `// want "regexp"` comments in the
+// fixtures.
+//
+// Layout mirrors analysistest: testdata/src/<import/path>/*.go. Fixture
+// packages may import each other (resolved from source) and the
+// standard library (resolved through `go list -export`). A fixture
+// named breathe/internal/sim is, to the analyzers, the real thing —
+// scope rules key on import paths — so positive and negative cases sit
+// in differently named fixture packages.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"breathe/internal/lint"
+)
+
+// Run loads the fixture packages (and their fixture dependencies),
+// runs the analyzer over all of them in dependency order, and checks
+// the diagnostics reported in pkgPaths against their want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	var order []string
+	var external []string
+	seenExt := make(map[string]bool)
+
+	// Parse fixtures transitively, recording a dependency-first order.
+	var load func(path string) error
+	visiting := make(map[string]bool)
+	load = func(path string) error {
+		if _, done := parsed[path]; done || visiting[path] {
+			return nil
+		}
+		visiting[path] = true
+		defer delete(visiting, path)
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		names, err := goFilesIn(dir)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %w", path, err)
+		}
+		files, err := lint.ParseDir(fset, dir, names)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if isDir(filepath.Join(src, filepath.FromSlash(p))) {
+					if err := load(p); err != nil {
+						return err
+					}
+				} else if !seenExt[p] {
+					seenExt[p] = true
+					external = append(external, p)
+				}
+			}
+		}
+		parsed[path] = files
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range pkgPaths {
+		if err := load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Resolve the external (standard library) imports once.
+	extIndex := make(map[string]*lint.ListedPackage)
+	if len(external) > 0 {
+		sort.Strings(external)
+		listed, err := lint.ListPackages(testdata, false, external...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lp := range listed {
+			extIndex[lp.ImportPath] = lp
+		}
+	}
+
+	// Type-check fixtures in dependency order, then run the analyzer in
+	// the same sweep so facts from fixture dependencies are available.
+	facts := lint.NewFactStore()
+	checked := make(map[string]*types.Package)
+	wanted := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		wanted[p] = true
+	}
+	var findings []lint.Finding
+	// One importer for the whole run: standard-library packages must be
+	// represented by a single types.Package across every fixture, or
+	// types mentioned in fixture APIs would fail to unify.
+	imp := &fixtureImporter{local: checked, gc: lint.NewExportImporter(fset, extIndex)}
+	for _, path := range order {
+		pkg, info, err := lint.Check(path, fset, parsed[path], imp)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", path, err)
+		}
+		checked[path] = pkg
+		pass := &lint.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      parsed[path],
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ImportPath: path,
+			Module:     "breathe",
+		}
+		pass.SetFacts(facts)
+		report := wanted[path]
+		pass.Report = func(d lint.Diagnostic) {
+			if report {
+				findings = append(findings, lint.Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, path, err)
+		}
+	}
+
+	compare(t, fset, parsed, pkgPaths, findings)
+}
+
+// compare matches findings against the want comments of the fixture
+// files, analysistest-style: every diagnostic must match exactly one
+// want expectation on its line, and every expectation must be used.
+func compare(t *testing.T, fset *token.FileSet, parsed map[string][]*ast.File, pkgPaths []string, findings []lint.Finding) {
+	t.Helper()
+	type expectation struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	expects := make(map[string][]*expectation) // file:line
+	for _, path := range pkgPaths {
+		for _, f := range parsed[path] {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, pat := range wantPatterns(t, c.Text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+						}
+						p := fset.Position(c.Pos())
+						key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+						expects[key] = append(expects[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, e := range expects[key] {
+			if !e.used && e.re.MatchString(f.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", f.Pos, f.Message)
+		}
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps of a `// want "..." `...“
+// comment.
+func wantPatterns(t *testing.T, comment string) []string {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var pats []string
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				t.Fatalf("unterminated want pattern in %q", comment)
+			}
+			pat, err := strconv.Unquote(rest[:end+2])
+			if err != nil {
+				t.Fatalf("bad want pattern in %q: %v", comment, err)
+			}
+			pats = append(pats, pat)
+			rest = strings.TrimSpace(rest[end+2:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				t.Fatalf("unterminated want pattern in %q", comment)
+			}
+			pats = append(pats, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("malformed want comment: %q", comment)
+		}
+	}
+	return pats
+}
+
+// fixtureImporter resolves fixture imports to their source-checked
+// packages and everything else through one shared export-data importer.
+type fixtureImporter struct {
+	local map[string]*types.Package
+	gc    types.Importer
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.local[path]; ok {
+		return pkg, nil
+	}
+	return i.gc.Import(path)
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// The loader: list → parse → type-check, on nothing but the standard
+// library and the go command. `go list -export -json -deps` hands back
+// every package in dependency order with a compiled export-data file;
+// module packages are then parsed from source and type-checked against
+// their dependencies' export data — the same shape `go vet` itself
+// uses, so the standalone driver and the vettool see identical types.
+
+// ListedPackage mirrors the subset of `go list -json` fields the loader
+// consumes.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// listFields is the -json field selection matching ListedPackage.
+const listFields = "Dir,ImportPath,Export,Standard,ForTest,GoFiles,Imports,Module"
+
+// ListPackages runs `go list -export -json -deps` (plus -test when
+// includeTests is set) in dir and decodes the stream. The result is in
+// dependency order: every package appears after all of its imports.
+func ListPackages(dir string, includeTests bool, patterns ...string) ([]*ListedPackage, error) {
+	args := []string{"list", "-export", "-json=" + listFields, "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, errb.Bytes())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Package is one parsed, type-checked module package.
+type Package struct {
+	*ListedPackage
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded module: type-checked packages in dependency
+// order plus the shared file set.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Module   string
+}
+
+// Load lists patterns in dir and type-checks every module package
+// (skipping the standard library, which participates only as export
+// data, and the synthesized ".test" main packages).
+func Load(dir string, includeTests bool, patterns ...string) (*Program, error) {
+	listed, err := ListPackages(dir, includeTests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet()}
+	index := make(map[string]*ListedPackage, len(listed))
+	for _, lp := range listed {
+		index[lp.ImportPath] = lp
+		if prog.Module == "" && lp.Module != nil {
+			prog.Module = lp.Module.Path
+		}
+	}
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || len(lp.GoFiles) == 0 || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		pkg, err := checkListed(prog.Fset, lp, index)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// checkListed parses and type-checks one listed package against its
+// dependencies' export data.
+func checkListed(fset *token.FileSet, lp *ListedPackage, index map[string]*ListedPackage) (*Package, error) {
+	files, err := ParseDir(fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+	}
+	imp := NewExportImporter(fset, ResolveImports(lp, index))
+	pkg, info, err := Check(CanonicalPath(lp.ImportPath), fset, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+	}
+	return &Package{ListedPackage: lp, Files: files, Types: pkg, Info: info}, nil
+}
+
+// ParseDir parses the named files (relative paths joined to dir) with
+// comments retained.
+func ParseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ResolveImports builds the source-path → listed-package map for one
+// importing package. A test build's dependencies are listed under
+// decorated paths ("x [y.test]"); source code imports the plain path,
+// so each listed import is indexed under its canonical spelling too.
+func ResolveImports(lp *ListedPackage, index map[string]*ListedPackage) map[string]*ListedPackage {
+	resolve := make(map[string]*ListedPackage, len(lp.Imports))
+	for _, imp := range lp.Imports {
+		dep, ok := index[imp]
+		if !ok {
+			continue
+		}
+		resolve[imp] = dep
+		if base := CanonicalPath(imp); base != imp {
+			resolve[base] = dep
+		}
+	}
+	return resolve
+}
+
+// NewExportImporter returns a types.Importer that resolves import paths
+// through resolve and reads gc export data. Each type-checked package
+// gets its own importer so test-variant resolution cannot bleed across
+// packages.
+func NewExportImporter(fset *token.FileSet, resolve map[string]*ListedPackage) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		dep, ok := resolve[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: import %q not among the package's listed dependencies", path)
+		}
+		if dep.Export == "" {
+			return nil, fmt.Errorf("lint: no export data listed for %q", dep.ImportPath)
+		}
+		return os.Open(dep.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check type-checks files as package path using imp for dependencies,
+// returning the package and a fully populated types.Info.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

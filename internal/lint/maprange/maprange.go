@@ -1,0 +1,174 @@
+// Package maprange flags iteration over maps in packages whose output
+// bytes must be reproducible.
+//
+// Go randomizes map iteration order per run. In the deterministic core
+// and the serving/aggregation layers (internal/api, internal/service),
+// a `range m` whose effect reaches canonical bytes — a checkpoint
+// write, a stats block folded into a digest, a hash input — makes two
+// identical runs produce different artifacts. Every map range in scope
+// is therefore a diagnostic unless one of two proofs is present:
+//
+//   - the collected elements feed a sort before use: the loop appends
+//     into a slice that a later sort.* / slices.Sort* call in the same
+//     function orders, or
+//   - the statement carries //breathe:order-ok <reason>, asserting the
+//     body is order-free (e.g. a map-to-map copy or a commutative
+//     reduction).
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"breathe/internal/lint"
+)
+
+// Analyzer is the maprange checker.
+var Analyzer = &lint.Analyzer{
+	Name: "maprange",
+	Doc:  "flag range over maps in order-sensitive packages unless sorted or annotated //breathe:order-ok",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !pass.InModule() || !lint.OrderSensitive(pass.Canonical()) {
+		return nil
+	}
+	ann := pass.Annotations()
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if ann.Has(rs.For, lint.AnnotOrderOK) {
+				return true
+			}
+			if feedsSort(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s has nondeterministic iteration order in order-sensitive package %s; iterate sorted keys, or annotate //breathe:order-ok <reason> if the body is order-free", types.ExprString(rs.X), pass.Canonical())
+			return true
+		})
+	}
+	return nil
+}
+
+// feedsSort reports whether the range body only collects into slices
+// that a later sort call in the same function orders: every variable
+// written by the loop must be passed to a sort.* or slices.* call after
+// the loop ends.
+func feedsSort(pass *lint.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	sinks := collectSinks(pass.TypesInfo, rs)
+	if len(sinks) == 0 {
+		return false
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return false
+	}
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := lint.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObject(pass.TypesInfo, arg); obj != nil && sinks[obj] {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range sinks {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectSinks returns the objects the loop body assigns into (the
+// roots of assignment targets). The loop's own key/value variables are
+// not sinks.
+func collectSinks(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	sinks := make(map[types.Object]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if obj := rootObject(info, lhs); obj != nil && !loopVars[obj] {
+				sinks[obj] = true
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x, &x all root at x.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := lint.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncBody returns the innermost function body on the stack
+// (the last element is the range statement itself).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"breathe/internal/lint/linttest"
+	"breathe/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	linttest.Run(t, "testdata", maprange.Analyzer,
+		"breathe/internal/sweep", "breathe/cmd/tool")
+}

@@ -1,0 +1,10 @@
+// Package main is outside the order-sensitive set: map iteration for
+// human-facing output is legal here and must not be flagged.
+package main
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k, v := range m { // ok: the command layer is not order-sensitive
+		println(k, v)
+	}
+}

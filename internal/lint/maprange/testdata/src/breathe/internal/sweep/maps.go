@@ -1,0 +1,56 @@
+// Package sweep is a fixture standing in for an order-sensitive
+// package: every map range must prove its order-freedom.
+package sweep
+
+import (
+	"slices"
+	"sort"
+)
+
+// emit ranges a map four ways; only the proven-ordered ones pass.
+func emit(m map[string]int) []string {
+	for k := range m { // want `range over map`
+		sink(k)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: keys feed sort.Strings below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, v := range m { //breathe:order-ok sum is commutative
+		total += v
+	}
+	_ = total
+	for k, v := range m { // want `range over map`
+		if v > 0 {
+			sink(k)
+		}
+	}
+	return keys
+}
+
+// half collects two slices but sorts only one: the values slice leaks
+// iteration order.
+func half(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m { // want `range over map`
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	sort.Strings(ks)
+	return ks, vs
+}
+
+// viaSlices is ordered through the slices package rather than sort.
+func viaSlices(m map[int]bool) []int {
+	var ids []int
+	for id := range m { // ok: ids feed slices.Sort
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+func sink(string) {}

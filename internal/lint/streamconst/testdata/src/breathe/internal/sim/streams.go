@@ -1,0 +1,41 @@
+// Package sim is a fixture consumer of the keyed schedule.
+package sim
+
+import "breathe/internal/rng"
+
+type engine struct {
+	key   rng.Key
+	local rng.Key
+}
+
+// rounds exercises both rules: named constants only, and no two sites
+// sharing a (stream, shape) address.
+func (e *engine) rounds(round int) uint64 {
+	a := e.key.Cell(rng.StreamPlacement, uint64(round))
+	b := e.key.Cell(rng.StreamCollision, uint64(round))          // ok: distinct stream
+	c := e.key.Cell(3, uint64(round))                            // want `not a named rng.Stream\* constant`
+	d := e.key.Cell(rng.Stream(7), uint64(round))                // want `not a named rng.Stream\* constant`
+	dup := e.key.Cell(rng.StreamPlacement, uint64(round))        // want `reuses \(rng.StreamPlacement`
+	sub := e.key.Cell(rng.StreamPlacement, uint64(round)).Sub(1) // ok: the Sub chain is a different shape
+	fixed := e.key.Cell(rng.StreamCollision, 0)                  // ok: different round shape
+	other := e.local.Cell(rng.StreamPlacement, uint64(round))    // ok: different key
+	return a.Uint64(0) ^ b.Uint64(0) ^ c.Uint64(0) ^ d.Uint64(0) ^
+		dup.Uint64(0) ^ sub.Uint64(0) ^ fixed.Uint64(0) ^ other.Uint64(0)
+}
+
+// branch shares an address between mutually exclusive paths, asserted
+// at the first site.
+func (e *engine) branch(round int, dense bool) uint64 {
+	if dense {
+		c := e.key.Cell(rng.StreamSchedule, uint64(round)) //breathe:stream-ok dense and sparse paths are mutually exclusive per round
+		return c.Uint64(0)
+	}
+	c := e.key.Cell(rng.StreamSchedule, uint64(round)) // ok: the colliding site above is annotated
+	return c.Uint64(1)
+}
+
+// probe takes the stream as a parameter: plumbing, not an address
+// commitment, and legal.
+func probe(k rng.Key, s rng.Stream) rng.Cell {
+	return k.Cell(s, 1)
+}

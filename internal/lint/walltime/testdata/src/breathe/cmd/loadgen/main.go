@@ -1,0 +1,16 @@
+// Package main is a fixture for the module-wide rule: the clock is
+// legal in the command layer, deriving a seed from it is not.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()                   // ok: latency reporting is what daemons do
+	seed := uint64(time.Now().UnixNano()) // want `seed derived from the wall clock`
+	reseed := time.Now().Unix()           // want `seed derived from the wall clock`
+	okSeed := time.Now().UnixMilli()      //breathe:walltime-ok exercise seeds must differ between re-runs on purpose
+	fmt.Println(seed, reseed, okSeed, time.Since(start))
+}

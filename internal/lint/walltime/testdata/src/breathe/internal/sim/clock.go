@@ -1,0 +1,23 @@
+// Package sim is a fixture standing in for the deterministic core:
+// every ambient read here is a diagnostic.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+// step folds ambient inputs into what would be simulation state.
+func step() time.Duration {
+	start := time.Now() // want `time.Now in deterministic package`
+	_ = rand.Int()
+	_ = time.Until(start)    // want `time.Until in deterministic package`
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+// measure times a phase for a log line; the reading never reaches
+// simulation state, which the annotation asserts.
+func measure() time.Duration {
+	t0 := time.Now()      //breathe:walltime-ok measurement only, result is logged not simulated
+	return time.Since(t0) //breathe:walltime-ok measurement only, result is logged not simulated
+}

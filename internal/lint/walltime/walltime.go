@@ -1,0 +1,101 @@
+// Package walltime forbids wall-clock reads and ambient randomness in
+// the deterministic core.
+//
+// A simulation run is specified to be a pure function of its canonical
+// request and seed. time.Now, time.Since, time.Until and the math/rand
+// global generator are the two ambient inputs that silently break that
+// contract: a duration folded into a result, or a draw taken from
+// process-global state, changes canonical bytes between two runs of the
+// same request. Inside the deterministic packages every such read is a
+// diagnostic; benchmark-style measurement that provably cannot reach
+// simulation state carries a //breathe:walltime-ok annotation with a
+// reason.
+//
+// Outside the core the clock is legal — daemons report latencies — but
+// one shape stays banned module-wide: deriving a seed from the clock,
+// time.Now().UnixNano() and friends, which is how "unreproducible load
+// run" bugs are born (cmd/loadgen once did exactly this).
+package walltime
+
+import (
+	"go/ast"
+	"strconv"
+
+	"breathe/internal/lint"
+)
+
+// Analyzer is the walltime checker.
+var Analyzer = &lint.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads and math/rand in the deterministic packages, and clock-derived seeds everywhere",
+	Run:  run,
+}
+
+// wallCalls are the time package functions that read the wall clock.
+var wallCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seedShapes are the time.Time methods that turn a clock reading into
+// an integer — the canonical seed-derivation shape.
+var seedShapes = map[string]bool{"Unix": true, "UnixNano": true, "UnixMilli": true, "UnixMicro": true}
+
+func run(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	canon := pass.Canonical()
+	strict := lint.Deterministic(canon)
+	ann := pass.Annotations()
+
+	for _, f := range pass.Files {
+		if strict {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: all randomness must flow through %s streams", path, canon, lint.RNGPath)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if strict {
+				if name, ok := lint.IsPkgCall(pass.TypesInfo, call, "time", wallCalls); ok {
+					if !ann.Has(call.Pos(), lint.AnnotWalltimeOK) {
+						pass.Reportf(call.Pos(), "time.%s in deterministic package %s: the wall clock must not influence simulation state (annotate //breathe:walltime-ok <reason> for measurement-only reads)", name, canon)
+					}
+				}
+				return true
+			}
+			if name, ok := clockSeed(pass, call); ok {
+				if !ann.Has(call.Pos(), lint.AnnotWalltimeOK) {
+					pass.Reportf(call.Pos(), "seed derived from the wall clock: time.Now().%s() makes the run unreproducible; take the seed from a flag or the request", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// clockSeed matches the exact chain time.Now().Unix*() — a clock value
+// collapsed to an integer in one expression, which has no measurement
+// reading.
+func clockSeed(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := lint.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !seedShapes[sel.Sel.Name] {
+		return "", false
+	}
+	inner, ok := lint.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if _, ok := lint.IsPkgCall(pass.TypesInfo, inner, "time", map[string]bool{"Now": true}); !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

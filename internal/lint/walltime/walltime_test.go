@@ -1,0 +1,13 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"breathe/internal/lint/linttest"
+	"breathe/internal/lint/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, "testdata", walltime.Analyzer,
+		"breathe/internal/sim", "breathe/cmd/loadgen")
+}

@@ -109,7 +109,7 @@ func TestKeyedStreamIsolation(t *testing.T) {
 	_ = sink
 
 	after := snapshot()
-	for s, seq := range before {
+	for s, seq := range before { //breathe:order-ok each stream is asserted independently
 		for i, w := range seq {
 			if after[s][i] != w {
 				t.Fatalf("stream %d word %d changed after extra placement draws", s, i)

@@ -234,17 +234,7 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 	// the entry's points).
 	if ent, ok := s.cache.get(hash); ok &&
 		(req.TrajectoryEvery == 0 || (ent.points != nil && ent.every == req.TrajectoryEvery)) {
-		ex := newExecution(hash, req, time.Now())
-		if req.TrajectoryEvery > 0 {
-			// Only a trajectory-requesting job inherits the stored
-			// points: a plain request must stream exactly what a fresh
-			// execution of it would (nothing).
-			ex.points = ent.points
-		}
-		ex.resp = ent.resp
-		ex.respBytes = ent.raw
-		ex.state = StateDone
-		job := &Job{ID: id, Cached: true, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0}
+		job := s.serveFromCache(id, hash, req, ent)
 		s.registerLocked(job)
 		s.cacheHits.Add(1)
 		s.submitted.Add(1)
@@ -265,6 +255,26 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 	s.cacheMisses.Add(1)
 	s.submitted.Add(1)
 	return job, nil
+}
+
+// serveFromCache materializes an already-Done execution from a stored
+// cache entry: the served bytes are the stored bytes, no kernel wakes,
+// and — proven by the annotation — no RNG draw happens, so a hit cannot
+// perturb any concurrent execution's streams.
+//
+//breathe:drawfree
+func (s *Service) serveFromCache(id, hash string, req api.RunRequest, ent *cacheEntry) *Job {
+	ex := newExecution(hash, req, time.Now())
+	if req.TrajectoryEvery > 0 {
+		// Only a trajectory-requesting job inherits the stored points: a
+		// plain request must stream exactly what a fresh execution of it
+		// would (nothing).
+		ex.points = ent.points
+	}
+	ex.resp = ent.resp
+	ex.respBytes = ent.raw
+	ex.state = StateDone
+	return &Job{ID: id, Cached: true, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0}
 }
 
 // registerLocked records a job in the registry and evicts the oldest

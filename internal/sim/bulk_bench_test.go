@@ -89,9 +89,9 @@ func BenchmarkShardedKernelSpeedup(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := &bulkChatter{rounds: rounds}
-		start := time.Now()
+		start := time.Now() //breathe:walltime-ok benchmark wall-clock measurement, never folded into results
 		e.Run(p)
-		wall := time.Since(start)
+		wall := time.Since(start) //breathe:walltime-ok benchmark wall-clock measurement, never folded into results
 		if e.ShardedRounds() != rounds {
 			b.Fatalf("shards=%d: %d of %d rounds sharded", shards, e.ShardedRounds(), rounds)
 		}

@@ -171,7 +171,7 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
 			e.keyedScatter(p, nil, false, zeros, ones, round)
 		}
 	case m == 0:
-		e.paths.Quiet++
+		e.quietAdvance()
 	case e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round):
 		// The dense/sharded accounting split matches the legacy predicate —
 		// a pure function of (n, m) — so path counters agree byte-for-byte
@@ -189,6 +189,16 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
 	}
 
 	p.EndRound(round)
+}
+
+// quietAdvance accounts a round in which nobody sent. Under the keyed
+// schedule a quiet round advances no generator — draws are addressed by
+// (stream, round), never sequential — so skipping it must consume
+// nothing; the annotation has breathevet prove the path stays that way.
+//
+//breathe:drawfree
+func (e *Engine) quietAdvance() {
+	e.paths.Quiet++
 }
 
 // keyedSendScan collects the round's live senders through the per-agent
@@ -325,7 +335,7 @@ func (e *Engine) keyedTree(m0, m1, round int, parallel bool) {
 	e.denseStampAdvance()
 
 	if q := e.cfg.DropProb; q > 0 {
-		cDrop := e.key.Cell(rng.StreamDrop, uint64(round))
+		cDrop := e.key.Cell(rng.StreamDrop, uint64(round)) //breathe:stream-ok scatter and tree are alternative regimes; stepKeyed runs exactly one per round, so the sites never address the same round's cell
 		var rr rng.RNG
 		rr.Reseed(cDrop.Uint64(0))
 		d0 := rr.Binomial(m0, q)

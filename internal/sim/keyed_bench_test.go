@@ -46,9 +46,9 @@ func BenchmarkKeyedDenseOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		p := &bulkChatter{rounds: rounds}
-		start := time.Now()
+		start := time.Now() //breathe:walltime-ok benchmark wall-clock measurement, never folded into results
 		e.Run(p)
-		wall := time.Since(start)
+		wall := time.Since(start) //breathe:walltime-ok benchmark wall-clock measurement, never folded into results
 		if e.ShardedRounds() != rounds {
 			b.Fatalf("schedule=%d: %d of %d rounds sharded", ds, e.ShardedRounds(), rounds)
 		}

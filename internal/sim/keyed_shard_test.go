@@ -119,7 +119,7 @@ func TestKeyedTreeBucketOrderInvariance(t *testing.T) {
 		},
 	}
 	defer func() { keyedBucketOrder = nil }()
-	for name, order := range orders {
+	for name, order := range orders { //breathe:order-ok every order variant is compared to the same reference
 		keyedBucketOrder = order
 		res, acc := keyedTreeRun(t, base, rounds)
 		if res != refRes {

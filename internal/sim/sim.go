@@ -495,17 +495,10 @@ func (e *Engine) Run(p Protocol) Result {
 		// notified, next round not started. Cancellation is only honoured
 		// here — after the Done check, so a cancel that lands when the
 		// protocol has already terminated reports the completed run, not a
-		// canceled one — and the poll touches no RNG stream, so a canceled
-		// run's executed prefix is bit-identical to an uncanceled run's.
-		if e.cfg.Cancel != nil {
-			select {
-			case <-e.cfg.Cancel:
-				canceled = true
-			default:
-			}
-			if canceled {
-				break
-			}
+		// canceled one.
+		if e.pollCancel() {
+			canceled = true
+			break
 		}
 		switch {
 		case keyed:
@@ -535,6 +528,24 @@ func (e *Engine) Run(p Protocol) Result {
 		}
 	}
 	return res
+}
+
+// pollCancel is the round barrier's non-blocking look at the cancel
+// channel. It must touch no RNG stream: that is what makes a canceled
+// run's executed prefix bit-identical to an uncanceled run's, and the
+// annotation has breathevet prove it over the callgraph.
+//
+//breathe:drawfree
+func (e *Engine) pollCancel() bool {
+	if e.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-e.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // step runs a single round: collect sends, deliver with accept-one

@@ -230,7 +230,7 @@ func Run(spec Spec, runner Runner, opts Options) (*Result, error) {
 		ver := done
 		if hasCkpt {
 			snapshot = make(map[string]json.RawMessage, len(ckpt))
-			for k, v := range ckpt {
+			for k, v := range ckpt { //breathe:order-ok map-to-map copy is order-free
 				snapshot[k] = v
 			}
 		}

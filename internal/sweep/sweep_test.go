@@ -66,7 +66,7 @@ func TestSpecCellsOrderAndCount(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	for name, s := range map[string]Spec{
+	for name, s := range map[string]Spec{ //breathe:order-ok each invalid spec is checked independently
 		"no ns":        {Protocols: []string{"broadcast"}},
 		"bad protocol": {Protocols: []string{"bogus"}, Ns: []int{64}},
 		"bad eps":      {Ns: []int{64}, Epss: []float64{0.7}},
