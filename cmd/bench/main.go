@@ -30,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"breathe/internal/async"
 	"breathe/internal/channel"
+	"breathe/internal/core"
 	"breathe/internal/rng"
 	"breathe/internal/sim"
 )
@@ -99,6 +101,35 @@ type Cell struct {
 	MMsgsPerSec     float64 `json:"mmsgs_per_sec"`
 }
 
+// AsyncCell is the async-heavy quiet-span cell: one quiet-dominated
+// selfsync scenario executed twice under the keyed schedule — quiet-span
+// skipping on (the default) and off — on the per-agent reference
+// mechanism, whose Θ(n) sender scans are what the dilation gaps cost
+// without the skip. The crash plan thins the message traffic (the
+// robustness scenario the sweep grids also exercise) and routes every
+// scan through the failure filter, so the cell also covers the
+// crash-boundary capping at speed.
+type AsyncCell struct {
+	Protocol    string  `json:"protocol"`
+	Kernel      string  `json:"kernel"`
+	N           int     `json:"n"`
+	Eps         float64 `json:"eps"`
+	PreludeLen  int     `json:"prelude_len"`
+	CrashProb   float64 `json:"crash_prob"`
+	Rounds      int     `json:"rounds"`
+	QuietRounds int64   `json:"quiet_rounds"`
+	QuietSpans  int64   `json:"quiet_spans"`
+	WallSkipOn  float64 `json:"wall_seconds_skip_on"`
+	WallSkipOff float64 `json:"wall_seconds_skip_off"`
+	// Speedup is WallSkipOff / WallSkipOn. The full-scale budget for the
+	// committed artifact is ≥ 10.
+	Speedup float64 `json:"quiet_skip_speedup"`
+	// Identical reports that both executions produced the same sim.Result
+	// — the skip path's bit-identity contract, asserted here so a
+	// regression fails the artifact, not just the test suite.
+	Identical bool `json:"results_identical"`
+}
+
 // Report is the artifact schema.
 type Report struct {
 	Schema     string `json:"schema"`
@@ -111,6 +142,8 @@ type Report struct {
 	// the keyed schedule is ≤ 0.15.
 	KeyedDenseOverhead float64 `json:"keyed_dense_overhead"`
 	Cells              []Cell  `json:"cells"`
+	// AsyncCell is the quiet-span skipping measurement (schema v3).
+	AsyncCell *AsyncCell `json:"async_cell,omitempty"`
 }
 
 func main() {
@@ -118,6 +151,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// benchAsync measures the quiet-span AsyncCell: a dilation-amplified
+// selfsync run (prelude L far above the standard 3·log₂ n, so the
+// inter-phase gaps dominate the schedule) with 80% initial crash faults,
+// executed with skipping on and off. Quick mode shrinks the scenario;
+// the ≥10× budget applies to the full-scale committed artifact.
+func benchAsync(quick bool, seed uint64, log io.Writer) (*AsyncCell, error) {
+	n, prelude := 20_000, 12_000
+	if quick {
+		n, prelude = 4_096, 1_200
+	}
+	const eps, crashProb = 0.45, 0.8
+
+	cell := &AsyncCell{
+		Protocol: "breathe-async-selfsync", Kernel: "per-agent",
+		N: n, Eps: eps, PreludeLen: prelude, CrashProb: crashProb,
+	}
+	var onRes, offRes sim.Result
+	for _, noskip := range []bool{false, true} {
+		params := core.DefaultParams(n, eps)
+		p, err := async.NewSelfSync(params, channel.One, prelude)
+		if err != nil {
+			return nil, err
+		}
+		e, err := sim.NewEngine(sim.Config{
+			N: n, Channel: channel.FromEpsilon(eps), Seed: seed,
+			AllowSelfMessages: true, DrawSchedule: sim.ScheduleKeyed,
+			Kernel: sim.KernelPerAgent, Shards: 1, MaxRounds: 1 << 30,
+			Failures:    sim.NewRandomCrashesKeyed(n, crashProb, 0, rng.NewKey(seed), 0),
+			NoQuietSkip: noskip,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := e.Run(p)
+		wall := time.Since(start).Seconds()
+		if noskip {
+			offRes = res
+			cell.WallSkipOff = wall
+		} else {
+			onRes = res
+			cell.WallSkipOn = wall
+			cell.Rounds = res.Rounds
+			cell.QuietRounds = res.Paths.Quiet
+			cell.QuietSpans = e.QuietSpans()
+		}
+	}
+	cell.Speedup = cell.WallSkipOff / cell.WallSkipOn
+	cell.Identical = onRes == offRes
+	fmt.Fprintf(log, "async selfsync n=%d L=%d crash=%.1f: %d rounds (%d quiet, %d spans)  skip on %.2fs / off %.2fs  %.1fx  identical=%v\n",
+		cell.N, cell.PreludeLen, cell.CrashProb, cell.Rounds, cell.QuietRounds, cell.QuietSpans,
+		cell.WallSkipOn, cell.WallSkipOff, cell.Speedup, cell.Identical)
+	return cell, nil
 }
 
 func parseNs(s string) ([]int, error) {
@@ -164,7 +252,7 @@ func run(args []string, log io.Writer) error {
 	}
 
 	rep := Report{
-		Schema:     "breathe-bench-kernel/v2",
+		Schema:     "breathe-bench-kernel/v3",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Budget:     b,
@@ -239,6 +327,16 @@ func run(args []string, log io.Writer) error {
 		rep.KeyedDenseOverhead = keyed/legacy - 1
 		fmt.Fprintf(log, "keyed dense overhead at n=%d: %+.1f%% (budget ≤ +15%%)\n",
 			largestN, rep.KeyedDenseOverhead*100)
+	}
+
+	ac, err := benchAsync(*quick, *seed, log)
+	if err != nil {
+		return err
+	}
+	rep.AsyncCell = ac
+
+	if !rep.AsyncCell.Identical {
+		return fmt.Errorf("quiet-span skip diverged: skip-on and skip-off runs disagree")
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -12,8 +12,10 @@ import (
 func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_kernel.json")
 	var log bytes.Buffer
-	// A tiny ladder keeps the test fast while covering all three kernels.
-	if err := run([]string{"-ns", "5000,40000", "-budget", "200000", "-out", out}, &log); err != nil {
+	// A tiny ladder keeps the test fast while covering all three kernels;
+	// -quick keeps the async quiet-span cell at CI scale (the explicit -ns
+	// overrides quick's ladder, so the two compose).
+	if err := run([]string{"-quick", "-ns", "5000,40000", "-budget", "200000", "-out", out}, &log); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(log.String(), "wrote") {
@@ -27,8 +29,17 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if rep.Schema != "breathe-bench-kernel/v2" {
+	if rep.Schema != "breathe-bench-kernel/v3" {
 		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.AsyncCell == nil {
+		t.Fatal("artifact has no async quiet-span cell")
+	}
+	if !rep.AsyncCell.Identical {
+		t.Fatalf("async cell reports divergent results: %+v", rep.AsyncCell)
+	}
+	if rep.AsyncCell.QuietSpans == 0 || rep.AsyncCell.QuietRounds == 0 {
+		t.Fatalf("async cell skipped nothing: %+v", rep.AsyncCell)
 	}
 	// 2 sizes × 3 kernels × 2 schedules.
 	if len(rep.Cells) != 12 {

@@ -430,7 +430,10 @@ type RunResponse struct {
 	// the fallback detector: a request that expected the batched kernel
 	// but ran per-agent shows up here, not in a profile.
 	Paths sim.PathRounds `json:"paths"`
-	// PrimaryPath names the dominant non-quiet path.
+	// PrimaryPath names the path that executed the most rounds, ignoring
+	// quiet rounds (every protocol breathes; the question is what runs
+	// when it speaks). It is "quiet" exactly when no round carried a
+	// message — an all-quiet or zero-round run (sim.PathRounds.Primary).
 	PrimaryPath string `json:"primary_path"`
 	// MessagesSent / MessagesAccepted / MessagesDropped are the run's
 	// message totals.

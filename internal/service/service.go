@@ -469,9 +469,14 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 	eng.SetCancel(ex.cancel)
 	proto := run.NewProtocol()
 	if every := ex.req.TrajectoryEvery; every > 0 {
+		// The trajectory observer only acts on multiples of every;
+		// declaring that lets the engine skip quiet spans between sample
+		// rounds without changing the published points.
 		eng.SetObserver(trajectoryObserver(ex, proto, every))
+		eng.SetObserverEvery(every)
 	} else {
 		eng.SetObserver(nil)
+		eng.SetObserverEvery(0)
 	}
 
 	// A panicking run (an engine precondition Validate could not see, or

@@ -20,6 +20,15 @@ func (c *CrashAt) Crashed(a, round int) bool {
 	return round >= c.Round && c.Agents[a]
 }
 
+// NextCrashChange implements CrashBoundary: the crash set changes exactly
+// once, when the agents go down at Round.
+func (c *CrashAt) NextCrashChange(g int) int {
+	if g <= c.Round {
+		return c.Round
+	}
+	return -1
+}
+
 // NewCrashAt builds a CrashAt plan from a list of agent ids.
 func NewCrashAt(round int, agents ...int) *CrashAt {
 	m := make(map[int]bool, len(agents))
@@ -92,10 +101,21 @@ func (c *RandomCrashes) Crashed(a, round int) bool {
 	return round >= c.round && c.crashed[a]
 }
 
+// NextCrashChange implements CrashBoundary: the sampled set goes down at
+// the plan's round and never changes again.
+func (c *RandomCrashes) NextCrashChange(g int) int {
+	if g <= c.round {
+		return c.round
+	}
+	return -1
+}
+
 // NumCrashed reports the size of the crash set.
 func (c *RandomCrashes) NumCrashed() int { return len(c.crashed) }
 
 var (
-	_ FailurePlan = (*CrashAt)(nil)
-	_ FailurePlan = (*RandomCrashes)(nil)
+	_ FailurePlan   = (*CrashAt)(nil)
+	_ FailurePlan   = (*RandomCrashes)(nil)
+	_ CrashBoundary = (*CrashAt)(nil)
+	_ CrashBoundary = (*RandomCrashes)(nil)
 )

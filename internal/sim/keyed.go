@@ -140,8 +140,9 @@ func (e *Engine) prepareKeyed(p Protocol) BulkProtocol {
 // stepKeyed runs one round under the keyed schedule. bp is nil when the
 // protocol or configuration cannot use the batched machinery at all; the
 // round then runs per-agent collection with scatter sampling, which has no
-// population cap.
-func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
+// population cap. The return value reports a quiet round (no live
+// senders), which arms the caller's span skip.
+func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) (quiet bool) {
 	round := e.round
 	k := e.keyed
 
@@ -162,16 +163,18 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
 	e.sent += int64(m)
 
 	switch {
+	case m == 0:
+		// Quiet regime, for bulk and non-bulk collection alike: no live
+		// senders means no kernel work on any path, so the accounting is
+		// kernel-independent too.
+		e.quietAdvance()
+		quiet = true
 	case bp == nil:
 		// No batched machinery: the scatter regime on the reference
 		// interface is the only (and therefore trivially kernel-identical)
 		// path.
 		e.paths.PerAgent++
-		if m > 0 {
-			e.keyedScatter(p, nil, false, zeros, ones, round)
-		}
-	case m == 0:
-		e.quietAdvance()
+		e.keyedScatter(p, nil, false, zeros, ones, round)
 	case e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round):
 		// The dense/sharded accounting split matches the legacy predicate —
 		// a pure function of (n, m) — so path counters agree byte-for-byte
@@ -189,6 +192,7 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
 	}
 
 	p.EndRound(round)
+	return quiet
 }
 
 // quietAdvance accounts a round in which nobody sent. Under the keyed
@@ -199,6 +203,67 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) {
 //breathe:drawfree
 func (e *Engine) quietAdvance() {
 	e.paths.Quiet++
+}
+
+// prepareQuietSkip arms the run's quiet-span skipping: keyed schedule,
+// protocol with a span oracle, and a failure plan (if any) that declares
+// its crash boundaries — an undeclared plan keeps the run per-round, so
+// the skip path never changes how an arbitrary Crashed implementation is
+// consulted.
+func (e *Engine) prepareQuietSkip(p Protocol) {
+	e.spanner = nil
+	e.crashBound = nil
+	if e.cfg.NoQuietSkip {
+		return
+	}
+	qs, ok := p.(QuietSpanner)
+	if !ok {
+		return
+	}
+	if f := e.cfg.Failures; f != nil {
+		cb, ok := f.(CrashBoundary)
+		if !ok {
+			return
+		}
+		e.crashBound = cb
+	}
+	e.spanner = qs
+}
+
+// skipQuietSpan advances the round cursor to next — the first round that
+// can act, per the span oracle and crash boundaries — crediting the
+// jumped-over rounds as executed quiet rounds. The span is clamped to
+// MaxRounds, and with an armed observer to its next due round
+// (ObserverEvery); an observer without a declared cadence disables
+// skipping entirely, because any round could matter to it. Under the
+// keyed schedule the walk is pure arithmetic: no generator advances, so
+// a skipped run is bit-identical to a round-by-round run — breathevet
+// proves this path stays draw-free.
+//
+//breathe:drawfree
+func (e *Engine) skipQuietSpan(next int) {
+	g := e.round
+	t := next
+	if t > e.cfg.MaxRounds {
+		t = e.cfg.MaxRounds
+	}
+	if e.cfg.Observer != nil {
+		every := e.cfg.ObserverEvery
+		if every <= 1 {
+			return
+		}
+		if due := (g/every + 1) * every; due < t {
+			t = due
+		}
+	}
+	if t <= g+1 {
+		return
+	}
+	// The loop increment lands on t: rounds g+1 .. t-1 are the skipped
+	// span, counted exactly as the per-round quiet path would have.
+	e.paths.Quiet += int64(t - g - 1)
+	e.quietSpans++
+	e.round = t - 1
 }
 
 // keyedSendScan collects the round's live senders through the per-agent

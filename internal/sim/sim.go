@@ -73,6 +73,34 @@ type FailurePlan interface {
 	Crashed(a, round int) bool
 }
 
+// QuietSpanner is an optional Protocol capability that makes quiescence
+// free under the keyed draw schedule. NextActive(g) returns the first
+// round t >= g at which the protocol can act, assuming no message is
+// delivered in [g, t): a round in which some agent may send, in which
+// EndRound may change protocol state (a phase finalization), or at which
+// Done may flip. Every round in [g, t) must be inert — Send false for
+// every agent, EndRound a no-op, Done constant — so the engine may
+// account rounds g..t-1 as executed quiet rounds and jump straight to t.
+//
+// The engine consults the spanner only under ScheduleKeyed, and only
+// immediately after a round with zero live senders; crashes never create
+// senders, so an implementation may (and should) ignore the failure
+// plan. Returning g is always safe: it declines the skip for this span.
+type QuietSpanner interface {
+	NextActive(g int) int
+}
+
+// CrashBoundary is an optional FailurePlan capability: NextCrashChange(g)
+// returns the first round >= g at which the plan's crash set changes, or
+// -1 when it never changes again. The engine never skips a quiet span
+// across a crash boundary, and declines to skip at all when a failure
+// plan does not declare its boundaries — an arbitrary Crashed
+// implementation could be stateful, and the skip path must not change
+// how often it is consulted.
+type CrashBoundary interface {
+	NextCrashChange(g int) int
+}
+
 // Observer is called at the end of every executed round; used for tracing.
 type Observer func(round int, e *Engine)
 
@@ -141,6 +169,19 @@ type Config struct {
 	Failures FailurePlan
 	// Observer, if set, runs after every executed round.
 	Observer Observer
+	// ObserverEvery declares that the observer only acts on rounds that
+	// are multiples of it (the service's trajectory-sampling convention:
+	// round % every == 0) and ignores every other round. The declaration
+	// lets the engine skip quiet spans between due rounds under the keyed
+	// schedule; a due round is never skipped. Zero (or 1) makes no claim:
+	// with an Observer installed the engine then executes every round.
+	// Ignored when Observer is nil.
+	ObserverEvery int
+	// NoQuietSkip disables O(1) quiet-span skipping under the keyed
+	// schedule, forcing every quiet round to execute individually. A pure
+	// performance knob for benchmarks and equivalence tests: results are
+	// bit-identical either way (quietspan_test.go pins it).
+	NoQuietSkip bool
 	// Cancel, if non-nil, aborts the run when it becomes readable (closed
 	// or sent to): the engine polls it at the per-round barrier — after a
 	// round's deliveries and observer, before the next round starts — on
@@ -186,6 +227,9 @@ func (c Config) validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("sim: negative Shards %d", c.Shards)
 	}
+	if c.ObserverEvery < 0 {
+		return fmt.Errorf("sim: negative ObserverEvery %d", c.ObserverEvery)
+	}
 	if c.DrawSchedule != ScheduleLegacy && c.DrawSchedule != ScheduleKeyed {
 		return fmt.Errorf("sim: unknown draw schedule %d", c.DrawSchedule)
 	}
@@ -204,8 +248,10 @@ type PathRounds struct {
 	// PerAgent counts rounds on the per-agent reference path (one Send
 	// call per agent per round).
 	PerAgent int64 `json:"per_agent,omitempty"`
-	// Quiet counts batched rounds with no live senders (the protocol's
-	// "breathe" phases): no kernel work at all.
+	// Quiet counts rounds with no live senders (the protocol's "breathe"
+	// phases): no kernel work at all. Under the keyed schedule whole
+	// quiet spans may be skipped in O(1) (see QuietSpanner); the skipped
+	// rounds are credited here exactly as if they had executed.
 	Quiet int64 `json:"quiet,omitempty"`
 	// PerMessage counts rounds on the batched per-message path.
 	PerMessage int64 `json:"per_message,omitempty"`
@@ -337,6 +383,13 @@ type Engine struct {
 	key   rng.Key     // keyed-schedule root, valid when DrawSchedule == ScheduleKeyed
 	keyed *keyedState // lazily allocated keyed-schedule scratch
 
+	// Quiet-span skipping (keyed schedule only): the protocol's span
+	// oracle, the failure plan's declared boundaries, and the count of
+	// spans actually skipped. Armed per run by prepareQuietSkip.
+	spanner    QuietSpanner
+	crashBound CrashBoundary
+	quietSpans int64
+
 	started  bool
 	round    int
 	sent     int64
@@ -391,6 +444,9 @@ func (e *Engine) Reset(seed uint64) {
 	e.round = 0
 	e.sent, e.accepted, e.dropped = 0, 0, 0
 	e.paths = PathRounds{}
+	e.spanner = nil
+	e.crashBound = nil
+	e.quietSpans = 0
 }
 
 // SetObserver replaces the engine's observer for the next run. Together
@@ -413,6 +469,18 @@ func (e *Engine) SetFailures(f FailurePlan) {
 		panic("sim: Engine.SetFailures on a started engine — Reset first")
 	}
 	e.cfg.Failures = f
+}
+
+// SetObserverEvery replaces the engine's Config.ObserverEvery declaration
+// for the next run (see the field doc). Pooled engines must re-arm it per
+// job together with SetObserver, so a stale declaration from the previous
+// tenant cannot let the engine skip rounds the new observer needs. See
+// SetObserver for the panic condition.
+func (e *Engine) SetObserverEvery(every int) {
+	if e.started {
+		panic("sim: Engine.SetObserverEvery on a started engine — Reset first")
+	}
+	e.cfg.ObserverEvery = every
 }
 
 // SetCancel replaces the engine's cancellation channel for the next run.
@@ -459,6 +527,13 @@ func (e *Engine) DrawKey() (rng.Key, bool) {
 // run, independent of Config.Shards).
 func (e *Engine) ShardedRounds() int64 { return e.paths.Sharded }
 
+// QuietSpans reports how many quiet spans the run skipped in O(1) (keyed
+// schedule with a QuietSpanner protocol; see skipQuietSpan). Diagnostics
+// only: the count is deliberately not part of Result, because a skipped
+// run and a round-by-round run of the same configuration produce
+// identical Results — that equivalence is the skip path's contract.
+func (e *Engine) QuietSpans() int64 { return e.quietSpans }
+
 // Run executes p until it reports Done or MaxRounds is hit. Calling Run a
 // second time without an intervening Reset panics: the engine's counters
 // and inbox stamps carry state from the finished run.
@@ -481,6 +556,7 @@ func (e *Engine) Run(p Protocol) Result {
 	var batched bool
 	if keyed {
 		bp = e.prepareKeyed(p)
+		e.prepareQuietSkip(p)
 	} else {
 		bp, batched = e.selectKernel(p)
 	}
@@ -500,9 +576,10 @@ func (e *Engine) Run(p Protocol) Result {
 			canceled = true
 			break
 		}
+		quiet := false
 		switch {
 		case keyed:
-			e.stepKeyed(p, bp)
+			quiet = e.stepKeyed(p, bp)
 		case batched:
 			e.stepBulk(bp)
 		default:
@@ -511,6 +588,22 @@ func (e *Engine) Run(p Protocol) Result {
 		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(e.round, e)
+		}
+		// After a quiet round the span oracle knows the next round that
+		// can act; every round in between is inert and is credited in
+		// bulk instead of executed. The jump happens after the observer
+		// call and before the next barrier, so a cancel that lands inside
+		// a skipped span is honoured at the span's end — the next barrier
+		// an unskipped run of the same span would also have reached with
+		// these counters.
+		if quiet && e.spanner != nil {
+			next := e.spanner.NextActive(e.round + 1)
+			if e.crashBound != nil {
+				if c := e.crashBound.NextCrashChange(e.round + 1); c >= 0 && c < next {
+					next = c
+				}
+			}
+			e.skipQuietSpan(next)
 		}
 	}
 	res.Rounds = e.round

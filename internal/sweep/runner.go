@@ -39,9 +39,14 @@ func NewLocalRunner(svc *service.Service) *LocalRunner {
 }
 
 // Run implements Runner. A full admission queue is back-pressure, not
-// failure: the runner retries until the queue drains.
+// failure: the runner retries with capped exponential backoff until the
+// queue drains. Every other submission error is terminal — in particular
+// ErrClosed: a closed or draining service will never admit the run, so
+// the error surfaces instead of the runner spinning forever.
 func (r *LocalRunner) Run(req api.RunRequest) (*api.RunResponse, []byte, bool, error) {
 	var job *service.Job
+	backoff := time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
 	for {
 		var err error
 		job, err = r.svc.Submit(req)
@@ -51,7 +56,10 @@ func (r *LocalRunner) Run(req api.RunRequest) (*api.RunResponse, []byte, bool, e
 		if !errors.Is(err, service.ErrQueueFull) {
 			return nil, nil, false, err
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 	<-job.Done()
 	resp, raw, ok := job.Response()

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"breathe/internal/api"
+	"breathe/internal/service"
+)
+
+// TestLocalRunnerClosedServiceTerminates: ErrQueueFull is the only
+// submission error the runner retries. A closed service answers every
+// submit with ErrClosed — the queue will never drain for this caller —
+// so Run must surface the error instead of spinning in the backoff loop
+// forever (which it once did, treating every error as back-pressure).
+func TestLocalRunnerClosedServiceTerminates(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	svc.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := NewLocalRunner(svc).Run(api.RunRequest{N: 64, Seed: 1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, service.ErrClosed) {
+			t.Fatalf("Run on closed service returned %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run on a closed service did not return — retry loop never terminates")
+	}
+}
+
+// TestLocalRunnerSaturatedThenClosed: runners blocked in the
+// back-pressure retry loop against a saturated single-worker service must
+// all terminate when the service closes underneath them — each either
+// slipped its run in before the close (a response) or observes ErrClosed
+// on its next retry. No third outcome, and no hang.
+func TestLocalRunnerSaturatedThenClosed(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	runner := NewLocalRunner(svc)
+
+	// Saturate: distinct seeds defeat the cache and single-flight. Keep
+	// submitting until a submit is rejected with the queue full.
+	seed := uint64(1)
+	for {
+		_, err := svc.Submit(api.RunRequest{N: 4096, Seed: seed})
+		if errors.Is(err, service.ErrQueueFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("saturating submit: %v", err)
+		}
+		seed++
+	}
+
+	const runners = 4
+	errs := make(chan error, runners)
+	var started sync.WaitGroup
+	started.Add(runners)
+	for i := 0; i < runners; i++ {
+		go func(s uint64) {
+			started.Done()
+			_, _, _, err := runner.Run(api.RunRequest{N: 4096, Seed: s})
+			errs <- err
+		}(seed + 1 + uint64(i))
+	}
+	started.Wait()
+	svc.Close()
+
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < runners; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && !errors.Is(err, service.ErrClosed) {
+				t.Errorf("runner returned %v, want nil or ErrClosed", err)
+			}
+		case <-deadline:
+			t.Fatalf("%d of %d runners still spinning after close", runners-i, runners)
+		}
+	}
+}
