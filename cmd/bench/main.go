@@ -35,6 +35,8 @@ import (
 	"breathe/internal/core"
 	"breathe/internal/rng"
 	"breathe/internal/sim"
+	"breathe/internal/telemetry"
+	"breathe/internal/trace"
 )
 
 // chatter is the all-senders benchmark protocol: every agent sends its
@@ -99,6 +101,11 @@ type Cell struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	NsPerAgentRound float64 `json:"ns_per_agent_round"`
 	MMsgsPerSec     float64 `json:"mmsgs_per_sec"`
+	// PhaseNs decomposes the cell's kernel time by round phase
+	// (telemetry.RunProbe billing; schema v4). Kernels that fuse phases
+	// bill the fused work to the first phase of the fusion, so dense
+	// cells report most of their time under "collision".
+	PhaseNs map[string]int64 `json:"phase_ns"`
 }
 
 // AsyncCell is the async-heavy quiet-span cell: one quiet-dominated
@@ -186,8 +193,10 @@ func benchAsync(quick bool, seed uint64, log io.Writer) (*AsyncCell, error) {
 		if err != nil {
 			return nil, err
 		}
+		//breathe:walltime-ok benchmark wall-time measurement
 		start := time.Now()
 		res := e.Run(p)
+		//breathe:walltime-ok benchmark wall-time measurement
 		wall := time.Since(start).Seconds()
 		if noskip {
 			offRes = res
@@ -252,7 +261,7 @@ func run(args []string, log io.Writer) error {
 	}
 
 	rep := Report{
-		Schema:     "breathe-bench-kernel/v3",
+		Schema:     "breathe-bench-kernel/v4",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Budget:     b,
@@ -277,6 +286,13 @@ func run(args []string, log io.Writer) error {
 	// schedule, for the keyed-overhead headline.
 	denseNs := map[string]float64{}
 	largestN := ns[len(ns)-1]
+	// One probe serves every cell (Reset between runs). Its clock reads at
+	// phase boundaries are part of the measured wall time — a handful of
+	// monotonic reads per round, noise at these budgets.
+	probe := telemetry.NewRunProbe()
+	phaseNames := telemetry.PhaseNames()
+	phaseTable := trace.NewTable("phase decomposition (% of kernel wall time)",
+		append([]string{"kernel", "schedule", "n"}, phaseNames[:]...)...)
 	for _, n := range ns {
 		for _, k := range kernels {
 			for _, s := range schedules {
@@ -288,20 +304,31 @@ func run(args []string, log io.Writer) error {
 				if rounds < 3 {
 					rounds = 3
 				}
+				probe.Reset()
 				e, err := sim.NewEngine(sim.Config{
 					N: n, Channel: channel.NewBSC(0.2), Seed: *seed,
 					AllowSelfMessages: true, Kernel: k.kernel,
 					Shards: k.shards, MaxRounds: 1 << 30,
 					DrawSchedule: s.ds,
+					Telemetry:    probe,
 				})
 				if err != nil {
 					return err
 				}
 				p := &chatter{rounds: rounds}
+				//breathe:walltime-ok benchmark wall-time measurement
 				start := time.Now()
 				res := e.Run(p)
+				//breathe:walltime-ok benchmark wall-time measurement
 				wall := time.Since(start)
 				agentRounds := float64(n) * float64(res.Rounds)
+				phaseNs := probe.PhaseNanos()
+				phases := make(map[string]int64, len(phaseNames))
+				var phaseTotal int64
+				for i, name := range phaseNames {
+					phases[name] = phaseNs[i]
+					phaseTotal += phaseNs[i]
+				}
 				cell := Cell{
 					Kernel:          k.name,
 					Schedule:        s.name,
@@ -313,8 +340,18 @@ func run(args []string, log io.Writer) error {
 					WallSeconds:     wall.Seconds(),
 					NsPerAgentRound: float64(wall.Nanoseconds()) / agentRounds,
 					MMsgsPerSec:     float64(res.MessagesSent) / wall.Seconds() / 1e6,
+					PhaseNs:         phases,
 				}
 				rep.Cells = append(rep.Cells, cell)
+				row := []string{k.name, s.name, strconv.Itoa(n)}
+				for i := range phaseNames {
+					pct := 0.0
+					if phaseTotal > 0 {
+						pct = 100 * float64(phaseNs[i]) / float64(phaseTotal)
+					}
+					row = append(row, fmt.Sprintf("%.1f", pct))
+				}
+				phaseTable.AddRow(row...)
 				if k.name == "batched" && n == largestN {
 					denseNs[s.name] = cell.NsPerAgentRound
 				}
@@ -327,6 +364,9 @@ func run(args []string, log io.Writer) error {
 		rep.KeyedDenseOverhead = keyed/legacy - 1
 		fmt.Fprintf(log, "keyed dense overhead at n=%d: %+.1f%% (budget ≤ +15%%)\n",
 			largestN, rep.KeyedDenseOverhead*100)
+	}
+	if err := phaseTable.WriteText(log); err != nil {
+		return err
 	}
 
 	ac, err := benchAsync(*quick, *seed, log)

@@ -29,8 +29,11 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if rep.Schema != "breathe-bench-kernel/v3" {
+	if rep.Schema != "breathe-bench-kernel/v4" {
 		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if !strings.Contains(log.String(), "phase decomposition") {
+		t.Fatalf("log output missing the phase table:\n%s", log.String())
 	}
 	if rep.AsyncCell == nil {
 		t.Fatal("artifact has no async quiet-span cell")
@@ -48,6 +51,14 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	for _, c := range rep.Cells {
 		if c.NsPerAgentRound <= 0 || c.Rounds < 3 || c.Messages <= 0 {
 			t.Fatalf("degenerate cell: %+v", c)
+		}
+		// Every cell carries a phase decomposition with nonzero total.
+		var phaseTotal int64
+		for _, ns := range c.PhaseNs {
+			phaseTotal += ns
+		}
+		if len(c.PhaseNs) == 0 || phaseTotal <= 0 {
+			t.Fatalf("cell %+v has no phase decomposition", c)
 		}
 		if c.Schedule != "legacy" && c.Schedule != "keyed" {
 			t.Fatalf("cell %+v has unknown schedule", c)

@@ -21,8 +21,19 @@
 //	                           Submit with trajectory_every > 0.
 //	POST /v1/runs/{id}/cancel  cancel queued or mid-run (honoured at the
 //	                           engine's next round barrier).
+//	GET  /v1/runs/{id}/trace   the run's NDJSON kernel trace — per-round
+//	                           phase timings, regime, quiet-span jumps.
+//	                           Submit with trace_every > 0 (traces are per
+//	                           execution; cache hits have none).
 //	GET  /v1/stats             pool and cache counters (service.Stats).
+//	GET  /metrics              Prometheus text exposition: kernel phase
+//	                           decomposition, run/queue latency histograms,
+//	                           pool gauges and lifecycle counters.
 //	GET  /healthz              liveness.
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ (kept off the public mux so profiling stays bind-scoped
+// to an operator-chosen address).
 //
 // A quick walkthrough:
 //
@@ -46,6 +57,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +77,7 @@ func main() {
 		engines = fs.Int("engines", 0, "reusable engines cached per worker, one per engine shape (0 = default 4; raise for wide sweep grids)")
 		history = fs.Int("history", 0, "terminal jobs retrievable by ID (0 = default 16384)")
 		sched   = fs.String("schedule", "", "default draw schedule for requests that leave it unset: legacy | keyed (empty = api default, legacy)")
+		debug   = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -81,6 +94,23 @@ func main() {
 		Addr:              *addr,
 		Handler:           service.NewHTTPHandler(svc),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if *debug != "" {
+		// A dedicated mux, not http.DefaultServeMux: the profiling
+		// surface exists only on the operator-chosen debug address.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("breathed debug (pprof) listening on %s", *debug)
+			if err := http.ListenAndServe(*debug, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -3,8 +3,11 @@
 // rely on — no wall clock or ambient randomness in the deterministic
 // core (walltime), no map-iteration order in canonical bytes
 // (maprange), every keyed draw addressed through a registered stream
-// with no colliding call sites (streamconst), and //breathe:drawfree
-// contracts enforced over the static callgraph (drawfree).
+// with no colliding call sites (streamconst), //breathe:drawfree
+// contracts enforced over the static callgraph (drawfree), and the
+// observability invariants — internal/telemetry stays a leaf package
+// (the static byte-inertness proof) and every wall-clock read outside
+// it carries a //breathe:walltime-ok reason (telemetry).
 //
 // Two modes share the analyzers:
 //
@@ -31,6 +34,7 @@ import (
 	"breathe/internal/lint/drawfree"
 	"breathe/internal/lint/maprange"
 	"breathe/internal/lint/streamconst"
+	"breathe/internal/lint/telemetry"
 	"breathe/internal/lint/walltime"
 )
 
@@ -40,6 +44,7 @@ var analyzers = []*lint.Analyzer{
 	maprange.Analyzer,
 	streamconst.Analyzer,
 	drawfree.Analyzer,
+	telemetry.Analyzer,
 }
 
 func main() {

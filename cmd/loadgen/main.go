@@ -12,9 +12,18 @@
 // cache (or by riding an identical in-flight execution) once the universe
 // is warm.
 //
+// Latency is tracked in a fixed-size log-bucketed histogram
+// (internal/telemetry), not an unbounded sample slice, so the report's
+// p50/p99/p999 cost the same memory at 10³ and 10⁸ requests. With -limit
+// the submission side is paced to a sustained QPS target instead of
+// firing as fast as the clients can loop; -ramp grows the rate linearly
+// from zero before sustaining, which keeps a cold daemon's queue from
+// rejecting the first burst.
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8344 -clients 64 -requests 8 -hit 0.5
+//	loadgen -clients 64 -requests 32 -limit 200 -ramp 5s
 package main
 
 import (
@@ -27,11 +36,12 @@ import (
 	"math"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"breathe/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +56,8 @@ func main() {
 		cancels  = fs.Int("cancels", 1, "mid-run cancel exercises")
 		verify   = fs.Bool("verify", true, "verify a cached response is byte-identical to the fresh one")
 		seed     = fs.Uint64("seed", 2_000_000, "base seed for the verify exercise (bump it when re-running against a long-lived daemon: the first submission must be a genuine miss)")
+		limit    = fs.Float64("limit", 0, "sustained submission rate in requests/s across all clients (0 = unpaced)")
+		ramp     = fs.Duration("ramp", 0, "with -limit: grow the rate linearly from zero over this window before sustaining")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -59,6 +71,8 @@ func main() {
 		cancels:  *cancels,
 		verify:   *verify,
 		seed:     *seed,
+		limit:    *limit,
+		ramp:     *ramp,
 		client:   &http.Client{Timeout: 5 * time.Minute},
 		out:      os.Stdout,
 	}
@@ -78,14 +92,16 @@ type loadgen struct {
 	cancels  int
 	verify   bool
 	seed     uint64
+	limit    float64       // sustained submissions/s across all clients (0 = unpaced)
+	ramp     time.Duration // linear rate ramp window before sustaining
 	client   *http.Client
 	out      io.Writer
 
-	errs      atomic.Uint64
-	latencies struct {
-		sync.Mutex
-		d []time.Duration
-	}
+	errs atomic.Uint64
+	// lat holds request latencies in a fixed-size log-bucketed histogram:
+	// wait-free Observe, bounded memory, quantiles within ~12.5%. The
+	// scale exports nanosecond observations as milliseconds.
+	lat *telemetry.Histogram
 }
 
 // jobEnvelope mirrors breathed's job status JSON (declared locally: the
@@ -100,6 +116,9 @@ type jobEnvelope struct {
 func (g *loadgen) run() error {
 	if g.hitRatio < 0 || g.hitRatio >= 1 {
 		return fmt.Errorf("hit ratio %v outside [0, 1)", g.hitRatio)
+	}
+	if g.lat == nil {
+		g.lat = telemetry.NewHistogram(1e-6) // ns observations → ms quantiles
 	}
 	if err := g.health(); err != nil {
 		return err
@@ -116,7 +135,11 @@ func (g *loadgen) run() error {
 	}
 	fmt.Fprintf(g.out, "loadgen: %d clients × %d requests, universe %d distinct runs (target hit ratio %.2f), n=%d %s\n",
 		g.clients, g.requests, universe, g.hitRatio, g.n, g.protocol)
+	if g.limit > 0 {
+		fmt.Fprintf(g.out, "pacing:  %.1f req/s sustained, ramp %s\n", g.limit, g.ramp)
+	}
 
+	//breathe:walltime-ok harness wall clock for throughput and pacing
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(g.clients)
@@ -124,12 +147,20 @@ func (g *loadgen) run() error {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < g.requests; i++ {
+				// Pace on the global round-robin index (i-th wave across
+				// all clients), so the target rate is fleet-wide rather
+				// than per client.
+				if d := g.offset(i*g.clients + c); d > 0 {
+					//breathe:walltime-ok pacing sleep against the harness clock
+					time.Sleep(time.Until(start.Add(d)))
+				}
 				idx := c*g.requests + i
 				g.one(uint64(idx % universe))
 			}
 		}(c)
 	}
 	wg.Wait()
+	//breathe:walltime-ok harness wall clock for throughput and pacing
 	wall := time.Since(start)
 
 	exercises := []string{}
@@ -171,10 +202,30 @@ func (g *loadgen) run() error {
 	return nil
 }
 
+// offset returns the scheduled submission time of global request k,
+// relative to the run start: a linear ramp to the target rate over
+// g.ramp, then sustained pacing at g.limit requests/s. Zero when unpaced.
+func (g *loadgen) offset(k int) time.Duration {
+	if g.limit <= 0 {
+		return 0
+	}
+	r := g.ramp.Seconds()
+	var t float64
+	// The ramp window absorbs limit·r/2 requests (area under the linear
+	// rate curve); within it the k-th request fires at sqrt(2rk/limit).
+	if inRamp := g.limit * r / 2; r > 0 && float64(k) < inRamp {
+		t = math.Sqrt(2 * r * float64(k) / g.limit)
+	} else {
+		t = r + (float64(k)-g.limit*r/2)/g.limit
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
 // one submits request #seed of the mix and waits for its result,
 // recording latency and cache status.
 func (g *loadgen) one(seed uint64) {
 	body := fmt.Sprintf(`{"protocol": %q, "n": %d, "seed": %d}`, g.protocol, g.n, seed)
+	//breathe:walltime-ok per-request latency measurement
 	start := time.Now()
 	env, cached, code, err := g.submit(body)
 	if err != nil || (code != http.StatusOK && code != http.StatusAccepted) {
@@ -189,9 +240,8 @@ func (g *loadgen) one(seed uint64) {
 			return
 		}
 	}
-	g.latencies.Lock()
-	g.latencies.d = append(g.latencies.d, time.Since(start))
-	g.latencies.Unlock()
+	//breathe:walltime-ok per-request latency measurement
+	g.lat.Observe(uint64(time.Since(start)))
 }
 
 func (g *loadgen) submit(body string) (jobEnvelope, bool, int, error) {
@@ -255,6 +305,7 @@ func (g *loadgen) cancelExercise(seed uint64) error {
 		return err
 	}
 	cresp.Body.Close()
+	//breathe:walltime-ok polling deadline for the cancel exercise
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		sresp, err := g.client.Get(g.base + "/v1/runs/" + env.ID)
@@ -273,6 +324,7 @@ func (g *loadgen) cancelExercise(seed uint64) error {
 		if st.State == "done" || st.State == "failed" {
 			return fmt.Errorf("job %s ended %s instead of canceled", env.ID, st.State)
 		}
+		//breathe:walltime-ok polling deadline for the cancel exercise
 		if time.Now().After(deadline) {
 			return fmt.Errorf("job %s still %s after cancel", env.ID, st.State)
 		}
@@ -335,17 +387,12 @@ func (g *loadgen) stats() (map[string]float64, error) {
 }
 
 func (g *loadgen) report(wall time.Duration, total int, before, after map[string]float64, exercises []string) {
-	g.latencies.Lock()
-	lat := append([]time.Duration(nil), g.latencies.d...)
-	g.latencies.Unlock()
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-
-	ok := len(lat)
+	ok := int(g.lat.Count())
 	fmt.Fprintf(g.out, "completed: %d/%d in %.2fs (%.1f req/s), %d errors\n",
 		ok, total, wall.Seconds(), float64(ok)/wall.Seconds(), g.errs.Load())
 	if ok > 0 {
-		fmt.Fprintf(g.out, "latency:   p50 %.2fms  p99 %.2fms  max %.2fms\n",
-			ms(percentile(lat, 0.50)), ms(percentile(lat, 0.99)), ms(lat[ok-1]))
+		fmt.Fprintf(g.out, "latency:   p50 %.2fms  p99 %.2fms  p999 %.2fms  max %.2fms\n",
+			g.lat.Quantile(0.50), g.lat.Quantile(0.99), g.lat.Quantile(0.999), g.lat.Max())
 	}
 	delta := func(k string) float64 { return after[k] - before[k] }
 	served := delta("cache_hits") + delta("shared_flights")
@@ -358,23 +405,6 @@ func (g *loadgen) report(wall time.Duration, total int, before, after map[string
 	for _, e := range exercises {
 		fmt.Fprintf(g.out, "exercise:  %s\n", e)
 	}
-}
-
-func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
-
-// percentile returns the p-quantile of sorted durations (nearest rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 func maxInt(a, b int) int {

@@ -43,10 +43,13 @@ func TestEndToEnd(t *testing.T) {
 		t.Errorf("%d request errors", g.errs.Load())
 	}
 	report := out.String()
-	for _, want := range []string{"completed:", "latency:", "mid-run cancel", "cached bytes == fresh bytes"} {
+	for _, want := range []string{"completed:", "latency:", "p999", "mid-run cancel", "cached bytes == fresh bytes"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
+	}
+	if int(g.lat.Count()) != 8*4 {
+		t.Errorf("latency histogram saw %d requests, want %d", g.lat.Count(), 8*4)
 	}
 
 	st := svc.Stats()
@@ -60,23 +63,45 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
-// TestPercentile pins the nearest-rank behaviour.
-func TestPercentile(t *testing.T) {
-	var ds []time.Duration
-	for i := 1; i <= 100; i++ {
-		ds = append(ds, time.Duration(i)*time.Millisecond)
+// TestPacingOffsets pins the -limit/-ramp schedule: unpaced requests fire
+// immediately, sustained pacing spaces them at 1/limit, and the ramp
+// transitions continuously into the sustained rate.
+func TestPacingOffsets(t *testing.T) {
+	unpaced := &loadgen{}
+	if d := unpaced.offset(1000); d != 0 {
+		t.Errorf("unpaced offset = %v", d)
 	}
-	if got := percentile(ds, 0.50); got != 50*time.Millisecond {
-		t.Errorf("p50 = %v", got)
+
+	flat := &loadgen{limit: 100}
+	if d := flat.offset(0); d != 0 {
+		t.Errorf("first paced request at %v", d)
 	}
-	if got := percentile(ds, 0.99); got != 99*time.Millisecond {
-		t.Errorf("p99 = %v", got)
+	if d := flat.offset(100); d != time.Second {
+		t.Errorf("request 100 at 100 req/s scheduled at %v, want 1s", d)
 	}
-	if got := percentile(ds[:1], 0.99); got != 1*time.Millisecond {
-		t.Errorf("p99 of singleton = %v", got)
+
+	// limit 100 req/s, ramp 2s → the ramp absorbs 100 requests; request
+	// 100 fires exactly at the end of the ramp, 150 half a second later.
+	ramped := &loadgen{limit: 100, ramp: 2 * time.Second}
+	if d := ramped.offset(100); d != 2*time.Second {
+		t.Errorf("ramp boundary at %v, want 2s", d)
 	}
-	if got := percentile(nil, 0.5); got != 0 {
-		t.Errorf("p50 of empty = %v", got)
+	if d := ramped.offset(150); d != 2500*time.Millisecond {
+		t.Errorf("post-ramp request at %v, want 2.5s", d)
+	}
+	// Inside the ramp the schedule is sqrt-shaped: request 25 of the 100
+	// the window absorbs fires at sqrt(2·2·25/100) = 1s.
+	if d := ramped.offset(25); d != time.Second {
+		t.Errorf("mid-ramp request at %v, want 1s", d)
+	}
+	// Offsets are monotone across the boundary.
+	prev := time.Duration(-1)
+	for k := 0; k < 300; k++ {
+		if d := ramped.offset(k); d < prev {
+			t.Fatalf("offset(%d) = %v < offset(%d) = %v", k, d, k-1, prev)
+		} else {
+			prev = d
+		}
 	}
 }
 

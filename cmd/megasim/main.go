@@ -22,6 +22,7 @@
 //	megasim -n 10000000 -shards 8            # 10⁷ agents across 8 worker cores
 //	megasim -kernel per-agent -n 100000      # the reference path, for comparison
 //	megasim -n 1000000 -json > result.json   # machine-readable api.RunResponse
+//	megasim -n 1000000 -phases               # kernel phase decomposition (byte-inert)
 //
 // The scenario flags are exactly the fields of an api.RunRequest — the
 // same configuration the breathed service accepts — and -json emits the
@@ -53,6 +54,7 @@ import (
 	"breathe/internal/channel"
 	"breathe/internal/core"
 	"breathe/internal/sim"
+	"breathe/internal/telemetry"
 )
 
 func main() {
@@ -76,6 +78,7 @@ func run(args []string) error {
 		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
 		shards   = fs.Int("shards", 0, "sharded-kernel workers (0 = all cores, 1 = serial; results are identical for every value)")
 		jsonOut  = fs.Bool("json", false, "emit the api.RunResponse JSON on stdout (commentary on stderr)")
+		phases   = fs.Bool("phases", false, "arm a telemetry probe and report the kernel phase decomposition (byte-inert: the response does not change)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +133,13 @@ func run(args []string) error {
 		*protocol, *n, *eps, *seed, *kernel, req.Canonical().Schedule, *self, *shards)
 	fmt.Fprintf(out, "schedule:  %s\n", schedule)
 
+	var probe *telemetry.RunProbe
+	if *phases {
+		probe = telemetry.NewRunProbe()
+		built.Config.Telemetry = probe
+	}
+
+	//breathe:walltime-ok run wall-time for the report, not simulation state
 	start := time.Now()
 	engine, err := sim.NewEngine(built.Config)
 	if err != nil {
@@ -137,6 +147,7 @@ func run(args []string) error {
 	}
 	proto := built.NewProtocol()
 	res := engine.Run(proto)
+	//breathe:walltime-ok run wall-time for the report, not simulation state
 	wall := time.Since(start)
 
 	agentRounds := float64(*n) * float64(res.Rounds)
@@ -152,6 +163,21 @@ func run(args []string) error {
 		float64(wall.Nanoseconds())/agentRounds,
 		float64(res.MessagesSent)/wall.Seconds()/1e6,
 		agentRounds/wall.Seconds()/1e6)
+	if probe != nil {
+		names := telemetry.PhaseNames()
+		ns := probe.PhaseNanos()
+		var total int64
+		for _, v := range ns {
+			total += v
+		}
+		fmt.Fprintf(out, "phases:  ")
+		for i, name := range names {
+			if total > 0 && ns[i] > 0 {
+				fmt.Fprintf(out, "  %s %.1f%%", name, 100*float64(ns[i])/float64(total))
+			}
+		}
+		fmt.Fprintln(out)
+	}
 
 	if *jsonOut {
 		resp := api.NewResponse(req, res, built.Crashed, proto)

@@ -122,6 +122,13 @@ type RunRequest struct {
 	// RNG stream, so this cannot change the result; excluded from the
 	// hash and from the canonical request.
 	TrajectoryEvery int `json:"trajectory_every,omitempty"`
+	// TraceEvery records one kernel run-trace record (telemetry NDJSON:
+	// per-phase nanoseconds, regime, message deltas) every this many
+	// rounds (0 = no trace), downloadable per job. The run probe is
+	// byte-inert — it draws nothing and never steers the round loop — so
+	// this cannot change the result either; excluded from the hash and
+	// from the canonical request.
+	TraceEvery int `json:"trace_every,omitempty"`
 }
 
 // Normalize resolves defaults in place so that requests meaning the same
@@ -207,6 +214,9 @@ func (r RunRequest) Validate() error {
 	if r.TrajectoryEvery < 0 {
 		return fmt.Errorf("api: negative trajectory_every %d", r.TrajectoryEvery)
 	}
+	if r.TraceEvery < 0 {
+		return fmt.Errorf("api: negative trace_every %d", r.TraceEvery)
+	}
 	return nil
 }
 
@@ -220,6 +230,7 @@ func (r RunRequest) Canonical() RunRequest {
 	r.Normalize()
 	r.Shards = 0
 	r.TrajectoryEvery = 0
+	r.TraceEvery = 0
 	if r.Schedule == ScheduleKeyed {
 		// Keyed draws are addressed, not consumed: every kernel replays
 		// the identical schedule, so the kernel choice is pure perf.

@@ -43,6 +43,7 @@ func e19() *Experiment {
 				st.roundsMatch = true
 				var msgs stats.Running
 				succ := 0
+				//breathe:walltime-ok experiment wall-time measurement
 				start := time.Now()
 				for seed := 0; seed < seeds; seed++ {
 					var p *core.Protocol
@@ -70,6 +71,7 @@ func e19() *Experiment {
 						succ++
 					}
 				}
+				//breathe:walltime-ok experiment wall-time measurement
 				st.elapsed = time.Since(start)
 				st.success = float64(succ) / float64(seeds)
 				st.meanMsgs = msgs.Mean()

@@ -1,0 +1,93 @@
+// Package telemetry enforces the observability subsystem's two static
+// invariants.
+//
+// First, breathe/internal/telemetry must stay a leaf package: it
+// imports nothing from the module. That is the byte-inertness proof in
+// its cheapest possible form — if no module code is reachable from a
+// probe or metric call, then no rng stream is reachable either, so
+// arming sim.Config.Telemetry cannot perturb a draw schedule no matter
+// what the probe does. The engine-level and response-level identity
+// tests pin the behaviour; this rule pins the mechanism, and catches a
+// violating import at vet time instead of at test time.
+//
+// Second, outside the telemetry package the module reads the wall clock
+// only with a stated reason: every time.Now / time.Since / time.Until
+// call site carries a //breathe:walltime-ok <reason> annotation. The
+// deterministic core is excluded here — the walltime analyzer already
+// polices it with a stricter message — and test files measure freely.
+// The point is inventory, not prohibition: the daemons legitimately
+// measure latency, and the annotation makes each such site a reviewed,
+// greppable decision rather than an accident waiting to fold a
+// duration into canonical bytes.
+package telemetry
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"breathe/internal/lint"
+)
+
+// Analyzer is the telemetry leaf-and-clock checker.
+var Analyzer = &lint.Analyzer{
+	Name: "telemetry",
+	Doc:  "prove internal/telemetry imports nothing from the module, and require annotated wall-clock reads module-wide",
+	Run:  run,
+}
+
+// leafSuffix locates the telemetry package relative to the module path
+// (fixtures use the same layout under a fixture module).
+const leafSuffix = "/internal/telemetry"
+
+// wallCalls are the time-package functions that read the wall clock.
+var wallCalls = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	canon := pass.Canonical()
+
+	// Rule A: the telemetry package is a leaf.
+	if canon == pass.Module+leafSuffix {
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == pass.Module || strings.HasPrefix(path, pass.Module+"/") {
+					pass.Reportf(imp.Pos(), "import of %s in the telemetry package: telemetry must stay a leaf — with no module package reachable from a probe call, no rng stream is reachable, which is the static proof that arming a probe is byte-inert", path)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Rule B: annotated clock reads everywhere else. The deterministic
+	// core belongs to the walltime analyzer (stricter rule, better
+	// message); reporting it here too would double every finding.
+	if lint.Deterministic(canon) {
+		return nil
+	}
+	ann := pass.Annotations()
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := lint.IsPkgCall(pass.TypesInfo, call, "time", wallCalls); ok {
+				if !ann.Has(call.Pos(), lint.AnnotWalltimeOK) {
+					pass.Reportf(call.Pos(), "unannotated time.%s: state the reason with //breathe:walltime-ok <reason>, or route the measurement through a telemetry instrument", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

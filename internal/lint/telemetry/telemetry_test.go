@@ -1,0 +1,13 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"breathe/internal/lint/linttest"
+	"breathe/internal/lint/telemetry"
+)
+
+func TestTelemetry(t *testing.T) {
+	linttest.Run(t, "testdata", telemetry.Analyzer,
+		"breathe/internal/telemetry", "breathe/cmd/breathed")
+}

@@ -1,0 +1,16 @@
+// Package main is a fixture for the module-wide annotation rule: every
+// wall-clock read outside the telemetry package states its reason.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() //breathe:walltime-ok request latency measurement
+	//breathe:walltime-ok the annotation may sit on the line above
+	wait := time.Until(start.Add(time.Second))
+	bare := time.Now()                         // want `unannotated time.Now`
+	fmt.Println(wait, bare, time.Since(start)) // want `unannotated time.Since`
+}

@@ -1,0 +1,6 @@
+// Package rng is a stub of the module's rng package, present so the
+// telemetry fixture has a module package to (illegally) import.
+package rng
+
+// Seed is whatever the fixture needs to reference.
+func Seed() uint64 { return 1 }

@@ -1,0 +1,17 @@
+// Package telemetry is a fixture for the leaf rule: stdlib imports and
+// ambient clock reads are fine here, module imports are not — a module
+// package reachable from a probe would break the static inertness proof.
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"breathe/internal/rng" // want `telemetry must stay a leaf`
+)
+
+// Snapshot timestamps a scrape; the clock is the telemetry package's
+// whole job, so no annotation is demanded here.
+func Snapshot() string {
+	return fmt.Sprintf("%d %d", time.Now().UnixNano(), rng.Seed())
+}

@@ -59,7 +59,10 @@ type httpServer struct {
 //	GET  /v1/runs/{id}/result  canonical response bytes (?wait=1 blocks)
 //	GET  /v1/runs/{id}/stream  trajectory stream, NDJSON or SSE
 //	POST /v1/runs/{id}/cancel  cancel queued or at the next round barrier
+//	GET  /v1/runs/{id}/trace   NDJSON run trace (jobs submitted with
+//	                           trace_every > 0; per execution, never cached)
 //	GET  /v1/stats             pool and cache counters
+//	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness
 func NewHTTPHandler(svc *Service) *http.ServeMux {
 	s := &httpServer{svc: svc}
@@ -69,7 +72,9 @@ func NewHTTPHandler(svc *Service) *http.ServeMux {
 	mux.HandleFunc("GET /v1/runs/{id}/result", s.result)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.stream)
 	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.trace)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
 }
@@ -231,6 +236,38 @@ func (s *httpServer) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// trace serves a completed job's NDJSON run trace. 404: the job is
+// unknown or did not request a trace (trace_every == 0, or it was a
+// cache hit — no kernel ran, no trace exists). 202: the run is still in
+// flight. 409: terminal without a trace (canceled, failed).
+func (s *httpServer) trace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	raw, ok := job.Trace()
+	if !ok {
+		st := statusOf(job)
+		switch {
+		case job.Cached || job.Request().TraceEvery <= 0:
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace (submit with trace_every > 0; cache hits run no kernel)", job.ID))
+		case !st.State.Terminal():
+			writeJSON(w, http.StatusAccepted, st)
+		default:
+			writeJSON(w, http.StatusConflict, st)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(raw)
+}
+
+// metrics renders the service registry in Prometheus text format.
+func (s *httpServer) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Registry().WriteText(w)
 }
 
 func (s *httpServer) stats(w http.ResponseWriter, r *http.Request) {

@@ -48,6 +48,7 @@ type execution struct {
 	points    []api.TrajectoryPoint
 	resp      *api.RunResponse
 	respBytes []byte // canonical marshaled response — cached byte for byte
+	trace     []byte // bounded NDJSON run trace, when the leader asked for one
 	err       error
 	queuedAt  time.Time
 	wall      time.Duration // kernel wall time, once terminal
@@ -102,11 +103,12 @@ func (ex *execution) publish(pt api.TrajectoryPoint) {
 	ex.broadcast()
 }
 
-func (ex *execution) finish(resp *api.RunResponse, raw []byte, wall time.Duration) {
+func (ex *execution) finish(resp *api.RunResponse, raw, trace []byte, wall time.Duration) {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	ex.resp = resp
 	ex.respBytes = raw
+	ex.trace = trace
 	ex.wall = wall
 	ex.state = StateDone
 	ex.broadcast()
@@ -141,6 +143,9 @@ type Job struct {
 	// single-flight or cache hit — must stream exactly what a fresh
 	// execution of it would: nothing.
 	wantsTrajectory bool
+	// wantsTrace records whether THIS submission asked for a run trace
+	// (trace_every > 0) — same per-rider rule as wantsTrajectory.
+	wantsTrace bool
 	// selfCanceled marks this job canceled even though the shared
 	// execution may run on for other riders. Guarded by ex.mu.
 	selfCanceled bool
@@ -191,6 +196,19 @@ func (j *Job) Response() (resp *api.RunResponse, raw []byte, ok bool) {
 		return nil, nil, false
 	}
 	return j.ex.resp, j.ex.respBytes, true
+}
+
+// Trace returns the NDJSON run trace of a completed job that requested
+// one (trace_every > 0). Trace bytes are per execution, never cached:
+// a cache hit has no trace because no kernel ran. The slice is shared
+// and must not be mutated.
+func (j *Job) Trace() ([]byte, bool) {
+	j.ex.mu.Lock()
+	defer j.ex.mu.Unlock()
+	if !j.wantsTrace || j.selfCanceled || j.ex.state != StateDone || len(j.ex.trace) == 0 {
+		return nil, false
+	}
+	return j.ex.trace, true
 }
 
 // Done returns a channel closed once the job is terminal. The channel is

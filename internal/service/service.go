@@ -16,6 +16,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"breathe/internal/api"
 	"breathe/internal/channel"
 	"breathe/internal/sim"
+	"breathe/internal/telemetry"
 )
 
 // Errors returned by Submit and reported by failed jobs.
@@ -88,12 +90,15 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of the service's counters. The
 // Executed / CacheHits pair is the cache's proof of work avoided: a warm
-// hit increments CacheHits while Executed stays flat.
+// hit increments CacheHits while Executed stays flat. QueueDepth and
+// EnginesBusy are the load gauges: queued work waiting for a worker, and
+// workers currently inside a kernel.
 type Stats struct {
 	Workers      int `json:"workers"`
-	QueueLen     int `json:"queue_len"`
+	QueueDepth   int `json:"queue_depth"`
 	QueueCap     int `json:"queue_cap"`
 	Active       int `json:"active"`
+	EnginesBusy  int `json:"engines_busy"`
 	CacheEntries int `json:"cache_entries"`
 	CacheCap     int `json:"cache_cap"`
 
@@ -115,10 +120,11 @@ type Stats struct {
 // Service is the engine pool plus its admission queue, result cache and
 // job registry. Create with New, stop with Close.
 type Service struct {
-	cfg   Config
-	queue chan *execution
-	cache *resultCache
-	wg    sync.WaitGroup
+	cfg     Config
+	queue   chan *execution
+	cache   *resultCache
+	metrics *serviceMetrics
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	closed   bool
@@ -126,6 +132,8 @@ type Service struct {
 	jobs     map[string]*Job
 	jobOrder []string // insertion order, for history eviction
 	seq      uint64
+
+	enginesBusy atomic.Int64 // workers currently inside eng.Run
 
 	submitted         atomic.Uint64
 	completed         atomic.Uint64
@@ -152,6 +160,7 @@ func New(cfg Config) *Service {
 		active: make(map[string]*execution),
 		jobs:   make(map[string]*Job),
 	}
+	s.metrics = newServiceMetrics(s)
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()
@@ -205,12 +214,13 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 	// Single-flight: ride an identical in-flight execution. A follower
 	// that wants a trajectory only attaches if the leader is recording
 	// one at exactly the requested granularity — points sampled every k
-	// rounds cannot stand in for every-k' ones. The liveness check and
-	// the riders++ are one critical section: attaching to an execution
-	// whose last rider just canceled would hand the new client a
-	// "canceled" outcome it never asked for.
+	// rounds cannot stand in for every-k' ones. The same rule governs
+	// run traces. The liveness check and the riders++ are one critical
+	// section: attaching to an execution whose last rider just canceled
+	// would hand the new client a "canceled" outcome it never asked for.
 	if ex, ok := s.active[hash]; ok &&
-		(req.TrajectoryEvery == 0 || ex.req.TrajectoryEvery == req.TrajectoryEvery) {
+		(req.TrajectoryEvery == 0 || ex.req.TrajectoryEvery == req.TrajectoryEvery) &&
+		(req.TraceEvery == 0 || ex.req.TraceEvery == req.TraceEvery) {
 		ex.mu.Lock()
 		alive := !ex.state.Terminal() && ex.riders > 0 && !ex.canceled()
 		if alive {
@@ -218,7 +228,7 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 		}
 		ex.mu.Unlock()
 		if alive {
-			job := &Job{ID: id, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0}
+			job := &Job{ID: id, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0, wantsTrace: req.TraceEvery > 0}
 			s.registerLocked(job)
 			s.sharedFlights.Add(1)
 			s.submitted.Add(1)
@@ -231,8 +241,9 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 	// Content-addressed cache: serve stored bytes, no kernel. A request
 	// that wants a trajectory needs an entry recorded at the same
 	// granularity; otherwise it falls through and recomputes (replacing
-	// the entry's points).
-	if ent, ok := s.cache.get(hash); ok &&
+	// the entry's points). A trace request always recomputes: traces are
+	// per execution, never cached — a hit has no kernel run to trace.
+	if ent, ok := s.cache.get(hash); ok && req.TraceEvery == 0 &&
 		(req.TrajectoryEvery == 0 || (ent.points != nil && ent.every == req.TrajectoryEvery)) {
 		job := s.serveFromCache(id, hash, req, ent)
 		s.registerLocked(job)
@@ -241,9 +252,10 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 		return job, nil
 	}
 
+	//breathe:walltime-ok queue timestamp for wait-time metrics, not simulation state
 	ex := newExecution(hash, req, time.Now())
 	ex.riders = 1
-	job := &Job{ID: id, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0}
+	job := &Job{ID: id, ex: ex, wantsTrajectory: req.TrajectoryEvery > 0, wantsTrace: req.TraceEvery > 0}
 	select {
 	case s.queue <- ex:
 	default:
@@ -264,6 +276,7 @@ func (s *Service) Submit(req api.RunRequest) (*Job, error) {
 //
 //breathe:drawfree
 func (s *Service) serveFromCache(id, hash string, req api.RunRequest, ent *cacheEntry) *Job {
+	//breathe:walltime-ok job bookkeeping timestamp, not simulation state
 	ex := newExecution(hash, req, time.Now())
 	if req.TrajectoryEvery > 0 {
 		// Only a trajectory-requesting job inherits the stored points: a
@@ -339,9 +352,10 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	return Stats{
 		Workers:      s.cfg.Workers,
-		QueueLen:     len(s.queue),
+		QueueDepth:   len(s.queue),
 		QueueCap:     s.cfg.QueueDepth,
 		Active:       active,
+		EnginesBusy:  int(s.enginesBusy.Load()),
 		CacheEntries: s.cache.len(),
 		CacheCap:     s.cfg.CacheEntries,
 
@@ -422,20 +436,30 @@ func (p *enginePool) drop(key engineKey) {
 	}
 }
 
-// worker owns one engine pool and serves queued executions until Close.
+// worker owns one engine pool — and one run probe, reset per job — and
+// serves queued executions until Close.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	pool := &enginePool{
 		engines: make(map[engineKey]*sim.Engine),
 		cap:     s.cfg.EnginesPerWorker,
 	}
+	probe := telemetry.NewRunProbe()
 	for ex := range s.queue {
-		s.runExecution(ex, pool)
+		s.runExecution(ex, pool, probe)
 	}
 }
 
-// runExecution drives one physical run on a pooled engine.
-func (s *Service) runExecution(ex *execution, pool *enginePool) {
+// maxTraceBytes bounds the NDJSON trace stored per execution: long runs
+// truncate (the writer emits a {"t":"truncated"} sentinel) instead of
+// growing service memory without bound.
+const maxTraceBytes = 1 << 20
+
+// runExecution drives one physical run on a pooled engine. The worker's
+// probe is always armed — phase and regime totals fold into the service
+// metrics for every run — and additionally streams a bounded NDJSON trace
+// when the leader requested one (trace_every > 0).
+func (s *Service) runExecution(ex *execution, pool *enginePool, probe *telemetry.RunProbe) {
 	defer s.finalize(ex)
 	if ex.canceled() {
 		ex.fail(StateCanceled, ErrCanceled, 0)
@@ -467,6 +491,13 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 	eng.Reset(ex.req.Seed)
 	eng.SetFailures(run.Config.Failures)
 	eng.SetCancel(ex.cancel)
+	probe.Reset()
+	var traceBuf *bytes.Buffer
+	if every := ex.req.TraceEvery; every > 0 {
+		traceBuf = &bytes.Buffer{}
+		probe.SetTrace(telemetry.NewTraceWriter(traceBuf, every, maxTraceBytes))
+	}
+	eng.SetTelemetry(probe)
 	proto := run.NewProtocol()
 	if every := ex.req.TrajectoryEvery; every > 0 {
 		// The trajectory observer only acts on multiples of every;
@@ -482,7 +513,9 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 	// A panicking run (an engine precondition Validate could not see, or
 	// a protocol bug) must fail the one job, not take down the daemon.
 	// The engine's state is suspect afterwards; drop it from the pool.
+	//breathe:walltime-ok wall-time metrics around the run, outside the kernel
 	start := time.Now()
+	s.enginesBusy.Add(1)
 	res, runErr := func() (r sim.Result, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -491,8 +524,11 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 		}()
 		return eng.Run(proto), nil
 	}()
+	s.enginesBusy.Add(-1)
+	//breathe:walltime-ok wall-time metrics around the run, outside the kernel
 	wall := time.Since(start)
 	s.executed.Add(1)
+	s.metrics.observeRun(probe, start.Sub(ex.queuedAt), wall)
 	if runErr != nil {
 		pool.drop(key)
 		ex.fail(StateFailed, runErr, wall)
@@ -509,10 +545,16 @@ func (s *Service) runExecution(ex *execution, pool *enginePool) {
 		ex.fail(StateFailed, err, wall)
 		return
 	}
+	var traceBytes []byte
+	if traceBuf != nil {
+		traceBytes = traceBuf.Bytes()
+	}
 	ex.mu.Lock()
 	points := ex.points
 	ex.mu.Unlock()
-	ex.finish(&resp, raw, wall)
+	ex.finish(&resp, raw, traceBytes, wall)
+	// The trace never enters the cache: it describes this execution's
+	// wall-clock behaviour, not the (deterministic) result.
 	s.cache.put(&cacheEntry{hash: ex.hash, resp: &resp, raw: raw, points: points, every: ex.req.TrajectoryEvery})
 }
 

@@ -39,6 +39,7 @@ import (
 
 	"breathe/internal/channel"
 	"breathe/internal/rng"
+	"breathe/internal/telemetry"
 )
 
 // BulkProtocol is an optional extension of Protocol enabling the batched
@@ -240,6 +241,7 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 	}
 	m := len(zeros) + len(ones)
 	e.sent += int64(m)
+	e.mark(telemetry.PhaseSenders)
 	if m > 0 {
 		if e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round) {
 			// The sharded/serial choice depends only on (n, m), never on
@@ -252,6 +254,9 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 				e.paths.Dense++
 				e.stepDense(len(zeros), len(ones), round)
 			}
+			// The dense paths fuse split, placement, resolve and noise in
+			// their bucket sweep; the whole round bills to collision.
+			e.mark(telemetry.PhaseCollision)
 		} else {
 			e.paths.PerMessage++
 			e.stepPerMessage(bp, zeros, ones, round)
@@ -260,6 +265,7 @@ func (e *Engine) stepBulk(bp BulkProtocol) {
 		e.paths.Quiet++
 	}
 	bp.EndRound(round)
+	e.mark(telemetry.PhaseAccumulate)
 }
 
 // stepPerMessage is the batched per-message path: exact for every Config
@@ -314,6 +320,7 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 	}
 	throw(zeros, 1)
 	throw(ones, 1<<pmFieldBits|1)
+	e.mark(telemetry.PhasePlacement)
 
 	// Resolve collisions: accept a one with probability ones/count. The
 	// draw happens on every collision, mixed bits or not, so the engine
@@ -345,7 +352,9 @@ func (e *Engine) stepPerMessage(bp BulkProtocol, zeros, ones []int32, round int)
 		b.accR = append(b.accR, dst)
 		b.accB = append(b.accB, bit)
 	}
+	e.mark(telemetry.PhaseCollision)
 	channel.TransmitAll(e.cfg.Channel, b.accB, e.channelRNG)
+	e.mark(telemetry.PhaseNoise)
 	bp.BulkDeliver(b.accR, b.accB, round)
 }
 

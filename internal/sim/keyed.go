@@ -49,6 +49,7 @@ import (
 
 	"breathe/internal/channel"
 	"breathe/internal/rng"
+	"breathe/internal/telemetry"
 )
 
 // keyedState holds the keyed kernel's per-run capabilities and scratch.
@@ -161,6 +162,7 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) (quiet bool) {
 	}
 	m := len(zeros) + len(ones)
 	e.sent += int64(m)
+	e.mark(telemetry.PhaseSenders)
 
 	switch {
 	case m == 0:
@@ -192,6 +194,7 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) (quiet bool) {
 	}
 
 	p.EndRound(round)
+	e.mark(telemetry.PhaseAccumulate)
 	return quiet
 }
 
@@ -338,6 +341,7 @@ func (e *Engine) keyedScatter(p Protocol, bp BulkProtocol, bulk bool, zeros, one
 	}
 	throw(zeros, 0)
 	throw(ones, 1)
+	e.mark(telemetry.PhasePlacement)
 
 	cColl := e.key.Cell(rng.StreamCollision, uint64(round))
 	cNoise := e.key.Cell(rng.StreamNoise, uint64(round))
@@ -383,6 +387,10 @@ func (e *Engine) keyedScatter(p Protocol, bp BulkProtocol, bulk bool, zeros, one
 			p.Receive(int(dst), bit, round)
 		}
 	}
+	// The resolve loop fuses accept-one, noise and (non-bulk) Receive
+	// delivery; it all bills to the collision phase. BulkDeliver rides
+	// with EndRound in the accumulate phase.
+	e.mark(telemetry.PhaseCollision)
 	if bulk {
 		bp.BulkDeliver(b.accR, b.accB, round)
 	}
@@ -444,6 +452,11 @@ func (e *Engine) keyedTree(m0, m1, round int, parallel bool) {
 		k.kc0[j] = c0
 		k.kc1[j] = c1
 	}
+	// Drop thinning and the multinomial split bill to placement; the
+	// bucket loop (in-bucket placement + branchless resolve with
+	// co-sampled noise) bills to collision, with marks only from the
+	// coordinating goroutine — workers never touch the probe.
+	e.mark(telemetry.PhasePlacement)
 
 	var accepted int64
 	if !parallel || k.workers <= 1 {
@@ -485,6 +498,7 @@ func (e *Engine) keyedTree(m0, m1, round int, parallel bool) {
 			accepted += k.runs[w].accepted
 		}
 	}
+	e.mark(telemetry.PhaseCollision)
 	e.denseRoundEnd(placed, accepted)
 }
 

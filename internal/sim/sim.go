@@ -16,6 +16,7 @@ import (
 
 	"breathe/internal/channel"
 	"breathe/internal/rng"
+	"breathe/internal/telemetry"
 )
 
 // Protocol is a distributed algorithm in the Flip model, expressed as the
@@ -199,6 +200,15 @@ type Config struct {
 	// DrawSchedule selects the randomness addressing scheme (default
 	// ScheduleLegacy, which all pre-existing goldens pin).
 	DrawSchedule DrawSchedule
+	// Telemetry, if non-nil, receives per-phase kernel timings, regime
+	// transitions and quiet-span lengths for this run. The probe is
+	// byte-inert by construction: it is consulted only at phase boundaries
+	// the round loop already has, it draws from no RNG stream (statically
+	// proven by breathevet's telemetry analyzer — the telemetry package
+	// imports nothing from this module), and nothing it returns feeds back
+	// into the run. Results are bit-identical with the probe on or off;
+	// internal/api's telemetry identity tests pin that across every kernel.
+	Telemetry *telemetry.RunProbe
 	// Shards sets the worker-goroutine count of the intra-run sharded
 	// kernel: 0 means GOMAXPROCS, 1 forces serial execution. Results are
 	// bit-identical for every value — the population is decomposed into
@@ -492,6 +502,17 @@ func (e *Engine) SetCancel(c <-chan struct{}) {
 	e.cfg.Cancel = c
 }
 
+// SetTelemetry installs (or, with nil, removes) the run probe for the next
+// run — the pooled-engine analogue of Config.Telemetry. See SetObserver
+// for the re-arming pattern and the panic condition; see the Telemetry
+// field doc for the byte-inertness contract.
+func (e *Engine) SetTelemetry(t *telemetry.RunProbe) {
+	if e.started {
+		panic("sim: Engine.SetTelemetry on a started engine — Reset first")
+	}
+	e.cfg.Telemetry = t
+}
+
 // N returns the population size.
 func (e *Engine) N() int { return e.cfg.N }
 
@@ -563,6 +584,10 @@ func (e *Engine) Run(p Protocol) Result {
 
 	res := Result{Protocol: p.Name()}
 	canceled := false
+	// The run probe, when armed, is driven only from this loop's existing
+	// barrier structure (plus the phase marks the kernels place between
+	// their internal stages). It observes; it never steers.
+	tel := e.cfg.Telemetry
 	for e.round = 0; e.round < e.cfg.MaxRounds; e.round++ {
 		if p.Done(e.round) {
 			break
@@ -576,6 +601,11 @@ func (e *Engine) Run(p Protocol) Result {
 			canceled = true
 			break
 		}
+		var prevPaths PathRounds
+		if tel != nil {
+			prevPaths = e.paths
+			tel.BeginRound(e.round)
+		}
 		quiet := false
 		switch {
 		case keyed:
@@ -588,6 +618,9 @@ func (e *Engine) Run(p Protocol) Result {
 		}
 		if e.cfg.Observer != nil {
 			e.cfg.Observer(e.round, e)
+		}
+		if tel != nil {
+			tel.EndRound(e.round, regimeOf(prevPaths, e.paths), e.sent, e.accepted, e.dropped)
 		}
 		// After a quiet round the span oracle knows the next round that
 		// can act; every round in between is inert and is credited in
@@ -603,8 +636,18 @@ func (e *Engine) Run(p Protocol) Result {
 					next = c
 				}
 			}
+			// The jump itself stays unprobed (skipQuietSpan is a proven
+			// draw-free leaf); the probe records the skipped span by
+			// diffing the round cursor across the call.
+			from := e.round
 			e.skipQuietSpan(next)
+			if tel != nil && e.round > from {
+				tel.QuietSpan(from+1, e.round+1)
+			}
 		}
+	}
+	if tel != nil {
+		tel.FinishRun(e.round)
 	}
 	res.Rounds = e.round
 	res.Canceled = canceled
@@ -641,8 +684,41 @@ func (e *Engine) pollCancel() bool {
 	}
 }
 
+// mark bills the time since the previous probe reading to phase ph; a
+// no-op (one nil check) when no probe is armed. Kernels call it between
+// their internal stages; it must never be called from a function carrying
+// //breathe:drawfree — the probe's writer is an interface value, which the
+// drawfree analyzer rightly treats as unprovable.
+func (e *Engine) mark(ph telemetry.Phase) {
+	if t := e.cfg.Telemetry; t != nil {
+		t.Mark(ph)
+	}
+}
+
+// regimeOf names the kernel path that executed the round just finished, by
+// diffing the path counters across the step call.
+func regimeOf(before, after PathRounds) telemetry.Regime {
+	switch {
+	case after.Quiet > before.Quiet:
+		return telemetry.RegimeQuiet
+	case after.PerMessage > before.PerMessage:
+		return telemetry.RegimePerMessage
+	case after.Dense > before.Dense:
+		return telemetry.RegimeDense
+	case after.Sharded > before.Sharded:
+		return telemetry.RegimeSharded
+	default:
+		return telemetry.RegimePerAgent
+	}
+}
+
 // step runs a single round: collect sends, deliver with accept-one
 // semantics, apply noise, notify the protocol.
+//
+// Phase accounting (see telemetry.Phase): the reference path fuses send
+// collection, placement and reservoir collision into its first loop
+// (billed to senders), delivery and noise into its second (billed to
+// noise); EndRound is billed to accumulate.
 func (e *Engine) step(p Protocol) {
 	n := e.cfg.N
 	round := e.round
@@ -677,6 +753,7 @@ func (e *Engine) step(p Protocol) {
 			}
 		}
 	}
+	e.mark(telemetry.PhaseSenders)
 
 	for a := 0; a < n; a++ {
 		if e.inStamp[a] != stamp {
@@ -691,8 +768,10 @@ func (e *Engine) step(p Protocol) {
 		got := e.cfg.Channel.Transmit(e.inBit[a], e.channelRNG)
 		p.Receive(a, got, round)
 	}
+	e.mark(telemetry.PhaseNoise)
 
 	p.EndRound(round)
+	e.mark(telemetry.PhaseAccumulate)
 }
 
 // pickRecipient draws the destination for a message from sender.

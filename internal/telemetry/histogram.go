@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-size log-linear histogram over uint64 observations
+// (HDR-style: one octave per power of two, histSub linear sub-buckets per
+// octave). Observe is wait-free — one atomic add per call, no allocation —
+// and quantile estimation walks the fixed bucket array, so memory stays
+// bounded no matter how many samples arrive. Relative quantile error is at
+// most 1/2^histSub ≈ 12.5%.
+//
+// Observations are integers (typically nanoseconds); the export scale set
+// at registration converts them for the Prometheus exposition and for
+// Quantile, which both report value*scale.
+type Histogram struct {
+	buckets [histSize]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	scale   float64
+}
+
+const (
+	// histSub sub-bucket bits: 2^histSub linear buckets per octave.
+	histSub = 3
+	// Values below 2^(histSub+1) index their own exact bucket; above,
+	// bucketIndex maps each (octave, sub-bucket) pair to one slot.
+	histSize = (64-histSub)<<histSub + 1<<histSub
+)
+
+func newHistogram(scale float64) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	return &Histogram{scale: scale}
+}
+
+// NewHistogram returns a standalone histogram (no registry) with the given
+// export scale — for callers like loadgen that only want quantiles.
+func NewHistogram(scale float64) *Histogram { return newHistogram(scale) }
+
+// bucketIndex maps an observation to its bucket. Small values (< 16 with
+// histSub=3) are exact; larger values share a bucket with everything that
+// agrees on the top histSub+1 bits.
+func bucketIndex(v uint64) int {
+	if v < 1<<(histSub+1) {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - 1 - histSub // ≥ 1
+	return int(uint64(exp+1)<<histSub | v>>exp&(1<<histSub-1))
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i, pre-scale.
+func bucketUpper(i int) uint64 {
+	if i < 1<<(histSub+1) {
+		return uint64(i)
+	}
+	exp := uint(i>>histSub) - 1
+	m := uint64(i & (1<<histSub - 1))
+	return (1<<histSub+m+1)<<exp - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the scaled sum of observations.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) * h.scale }
+
+// Max returns the scaled largest observation (0 if none).
+func (h *Histogram) Max() float64 { return float64(h.max.Load()) * h.scale }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) as the scaled upper
+// bound of the bucket containing the target rank, clamped to the exact
+// observed maximum so a report never shows p50 above max. Returns 0 with
+// no observations. The estimate never undershoots the true quantile by
+// more than one bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	var snap [histSize]uint64
+	var total uint64
+	for i := range snap {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	upper := bucketUpper(histSize - 1)
+	for i, c := range snap {
+		cum += c
+		if cum >= rank {
+			upper = bucketUpper(i)
+			break
+		}
+	}
+	if max := h.max.Load(); upper > max {
+		upper = max
+	}
+	return float64(upper) * h.scale
+}
+
+// snapshot copies the buckets and returns (buckets, count, sum) with count
+// derived from the buckets so the exposition's _count equals the sum of
+// its _bucket increments even mid-update.
+func (h *Histogram) snapshot() (snap [histSize]uint64, count uint64, sum float64) {
+	for i := range snap {
+		snap[i] = h.buckets[i].Load()
+		count += snap[i]
+	}
+	return snap, count, float64(h.sum.Load()) * h.scale
+}

@@ -1,0 +1,198 @@
+// Package telemetry is the repo's observability toolkit: allocation-free
+// counters, gauges and log-bucketed histograms behind a registry with a
+// Prometheus-text-format encoder, plus a kernel run probe (probe.go) that
+// records per-round phase spans to an NDJSON trace.
+//
+// The package is deliberately a leaf: it imports nothing from the breathe
+// module, so no telemetry call can reach an rng draw — the property the
+// breathevet `telemetry` analyzer pins statically. All wall-clock reads in
+// the module outside annotated call sites live here; instrumented code
+// observes durations, it never reads the clock itself.
+//
+// Everything is safe for concurrent use and free of steady-state
+// allocation: counters and gauges are single atomics, histograms are fixed
+// arrays of atomic buckets, and the trace writer reuses one append buffer.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use once registered.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind is the Prometheus family type.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// sample is one registered time series: a value source plus its labels.
+type sample struct {
+	labels []Label
+	// exactly one of the following is set, per the family kind
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // counterFunc / gaugeFunc
+	scale   float64        // multiplies counter values on export (0 = 1)
+}
+
+// family is one metric name: a kind, help text, and its samples.
+type family struct {
+	name    string
+	kind    metricKind
+	help    string
+	samples []*sample
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is expected at setup time; Write may be
+// called concurrently with metric updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, help: help}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter registers and returns a counter sample under name with the given
+// labels. Registering the same name twice with different kinds panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	f := r.family(name, help, kindCounter)
+	f.samples = append(f.samples, &sample{labels: labels, counter: c})
+	return c
+}
+
+// ScaledCounter is Counter with an export multiplier: the stored value is
+// an integer (say nanoseconds) but the exposition reports value*scale
+// (say seconds). Keeps hot-path arithmetic integral.
+func (r *Registry) ScaledCounter(name, help string, scale float64, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	f := r.family(name, help, kindCounter)
+	f.samples = append(f.samples, &sample{labels: labels, counter: c, scale: scale})
+	return c
+}
+
+// Gauge registers and returns a gauge sample.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	f := r.family(name, help, kindGauge)
+	f.samples = append(f.samples, &sample{labels: labels, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for snapshotting state that already exists (queue lengths, pool sizes)
+// without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	f.samples = append(f.samples, &sample{labels: labels, fn: fn})
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// an existing monotonic source.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	f.samples = append(f.samples, &sample{labels: labels, fn: fn})
+}
+
+// Histogram registers and returns a histogram sample. scale multiplies
+// observed (integer) values on export: observe nanoseconds with
+// scale=1e-9 and the exposition is in seconds, per Prometheus convention.
+func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := newHistogram(scale)
+	f := r.family(name, help, kindHistogram)
+	f.samples = append(f.samples, &sample{labels: labels, hist: h})
+	return h
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

@@ -49,6 +49,7 @@ func TestTableCSV(t *testing.T) {
 	tb := NewTable("t", "name", "value")
 	tb.AddRow("plain", "1")
 	tb.AddRow(`with,comma`, `with"quote`)
+	tb.AddRow("with\nnewline", `both,"of them`)
 	var sb strings.Builder
 	if err := tb.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
@@ -57,11 +58,20 @@ func TestTableCSV(t *testing.T) {
 	if !strings.Contains(out, "name,value\n") {
 		t.Errorf("missing header: %q", out)
 	}
+	if !strings.Contains(out, "plain,1\n") {
+		t.Errorf("plain cells must not be quoted: %q", out)
+	}
 	if !strings.Contains(out, `"with,comma"`) {
 		t.Errorf("comma cell not quoted: %q", out)
 	}
 	if !strings.Contains(out, `"with""quote"`) {
 		t.Errorf("quote cell not escaped: %q", out)
+	}
+	if !strings.Contains(out, "\"with\nnewline\"") {
+		t.Errorf("newline cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"both,""of them"`) {
+		t.Errorf("mixed cell not escaped: %q", out)
 	}
 }
 
