@@ -89,6 +89,44 @@ func (c *chatter) BulkDeliver(rs []int32, bs []channel.Bit, _ int) {
 	}
 }
 
+// sparseChatter is the sparse-activity variant of chatter: of n agents
+// only the first k send, so the declared sender set is k ≪ n and keyed
+// dense rounds qualify for the sparse walker — the SparseCell workload.
+type sparseChatter struct {
+	chatter
+	k int
+}
+
+func (c *sparseChatter) Name() string { return "bench-sparse-chatter" }
+func (c *sparseChatter) Setup(n int, _ *rng.RNG) {
+	// Prefault the accumulator sequentially: the sparse walker touches
+	// only ~k random slots per round, so without this the cell measures
+	// first-touch page faults scattered across rounds instead of the
+	// walker's steady-state cost. A sequential clear faults the whole
+	// array in setup, where it belongs, for both executors alike.
+	if cap(c.acc) >= n {
+		c.acc = c.acc[:n]
+	} else {
+		c.acc = make([]uint64, n)
+	}
+	clear(c.acc)
+	c.zeros = c.zeros[:0]
+	c.ones = c.ones[:0]
+	for a := 0; a < c.k; a++ {
+		if a%2 == 0 {
+			c.zeros = append(c.zeros, int32(a))
+		} else {
+			c.ones = append(c.ones, int32(a))
+		}
+	}
+}
+func (c *sparseChatter) Send(a, round int) (channel.Bit, bool) {
+	return channel.Bit(a % 2), a < c.k
+}
+
+// ActiveSenders implements sim.SenderIndex: k declared senders per round.
+func (c *sparseChatter) ActiveSenders(int) int { return c.k }
+
 // Cell is one measured (schedule, kernel, n) point.
 type Cell struct {
 	Kernel          string  `json:"kernel"`
@@ -137,6 +175,34 @@ type AsyncCell struct {
 	Identical bool `json:"results_identical"`
 }
 
+// SparseCell is the sparse-regime cell (schema v5): one sparse-activity
+// scenario — k declared senders in a population of n with k·64 < n —
+// executed twice under the keyed schedule on the batched kernel: the
+// event-driven sparse walker (the default) and the dense tree
+// (SparseCutover −1). Both executors must produce the same sim.Result;
+// the speedup is the Θ(n)-round-floor saving the walker buys.
+type SparseCell struct {
+	Kernel   string `json:"kernel"`
+	Schedule string `json:"schedule"`
+	N        int    `json:"n"`
+	// ActiveSenders is the declared sender-set size k of every round.
+	ActiveSenders int   `json:"active_senders"`
+	Rounds        int   `json:"rounds"`
+	SparseRounds  int64 `json:"sparse_rounds"`
+	// Wall and per-round figures for each executor over the same rounds.
+	WallTree         float64 `json:"wall_seconds_tree"`
+	WallSparse       float64 `json:"wall_seconds_sparse"`
+	TreeNsPerRound   float64 `json:"tree_ns_per_round"`
+	SparseNsPerRound float64 `json:"sparse_ns_per_round"`
+	// Speedup is TreeNsPerRound / SparseNsPerRound. The full-scale budget
+	// for the committed artifact is ≥ 10.
+	Speedup float64 `json:"sparse_speedup"`
+	// Identical reports that both executors produced the same sim.Result —
+	// the walker's bit-identity contract, asserted here so a regression
+	// fails the artifact, not just the test suite.
+	Identical bool `json:"results_identical"`
+}
+
 // Report is the artifact schema.
 type Report struct {
 	Schema     string `json:"schema"`
@@ -151,6 +217,8 @@ type Report struct {
 	Cells              []Cell  `json:"cells"`
 	// AsyncCell is the quiet-span skipping measurement (schema v3).
 	AsyncCell *AsyncCell `json:"async_cell,omitempty"`
+	// SparseCell is the sparse-regime walker measurement (schema v5).
+	SparseCell *SparseCell `json:"sparse_cell,omitempty"`
 }
 
 func main() {
@@ -217,6 +285,67 @@ func benchAsync(quick bool, seed uint64, log io.Writer) (*AsyncCell, error) {
 	return cell, nil
 }
 
+// benchSparse measures the SparseCell: k declared senders in a
+// population two-and-a-half decades larger (n = 10⁸, k = 10⁴ at full
+// scale), run once with the sparse walker and once with it disabled so
+// every sparse-accounted round executes on the dense tree. The regime
+// accounting is fixed — both runs report the same Paths — only the
+// executor changes, and with it the per-round cost: O(k + messages)
+// against the tree's Θ(n) slot scans.
+func benchSparse(quick bool, seed uint64, log io.Writer) (*SparseCell, error) {
+	// 200 rounds at full scale: enough for the walker's steady state —
+	// ~k random accumulator touches per round — to dominate the one-time
+	// setup (prefault, engine arrays), which wall/rounds bills to both
+	// executors alike.
+	n, k, rounds := 100_000_000, 10_000, 200
+	if quick {
+		n, k, rounds = 1_000_000, 1_000, 40
+	}
+	cell := &SparseCell{
+		Kernel: "batched", Schedule: "keyed", N: n, ActiveSenders: k,
+	}
+	var treeRes, sparseRes sim.Result
+	for _, walker := range []bool{true, false} {
+		cutover := 0
+		if !walker {
+			cutover = -1
+		}
+		e, err := sim.NewEngine(sim.Config{
+			N: n, Channel: channel.NewBSC(0.2), Seed: seed,
+			AllowSelfMessages: true, Kernel: sim.KernelBatched, Shards: 1,
+			MaxRounds: 1 << 30, DrawSchedule: sim.ScheduleKeyed,
+			SparseCutover: cutover,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := &sparseChatter{chatter: chatter{rounds: rounds}, k: k}
+		//breathe:walltime-ok benchmark wall-time measurement
+		start := time.Now()
+		res := e.Run(p)
+		//breathe:walltime-ok benchmark wall-time measurement
+		wall := time.Since(start)
+		perRound := float64(wall.Nanoseconds()) / float64(res.Rounds)
+		if walker {
+			sparseRes = res
+			cell.Rounds = res.Rounds
+			cell.SparseRounds = res.Paths.Sparse
+			cell.WallSparse = wall.Seconds()
+			cell.SparseNsPerRound = perRound
+		} else {
+			treeRes = res
+			cell.WallTree = wall.Seconds()
+			cell.TreeNsPerRound = perRound
+		}
+	}
+	cell.Speedup = cell.TreeNsPerRound / cell.SparseNsPerRound
+	cell.Identical = treeRes == sparseRes
+	fmt.Fprintf(log, "sparse n=%d k=%d: %d rounds (%d sparse)  walker %.2fs / tree %.2fs  %.1fx ns/round  identical=%v\n",
+		cell.N, cell.ActiveSenders, cell.Rounds, cell.SparseRounds,
+		cell.WallSparse, cell.WallTree, cell.Speedup, cell.Identical)
+	return cell, nil
+}
+
 func parseNs(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -261,7 +390,7 @@ func run(args []string, log io.Writer) error {
 	}
 
 	rep := Report{
-		Schema:     "breathe-bench-kernel/v4",
+		Schema:     "breathe-bench-kernel/v5",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Budget:     b,
@@ -377,6 +506,16 @@ func run(args []string, log io.Writer) error {
 
 	if !rep.AsyncCell.Identical {
 		return fmt.Errorf("quiet-span skip diverged: skip-on and skip-off runs disagree")
+	}
+
+	sc, err := benchSparse(*quick, *seed, log)
+	if err != nil {
+		return err
+	}
+	rep.SparseCell = sc
+
+	if !rep.SparseCell.Identical {
+		return fmt.Errorf("sparse walker diverged: walker-on and walker-off runs disagree")
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -29,7 +29,7 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
 	}
-	if rep.Schema != "breathe-bench-kernel/v4" {
+	if rep.Schema != "breathe-bench-kernel/v5" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if !strings.Contains(log.String(), "phase decomposition") {
@@ -43,6 +43,18 @@ func TestBenchWritesWellFormedArtifact(t *testing.T) {
 	}
 	if rep.AsyncCell.QuietSpans == 0 || rep.AsyncCell.QuietRounds == 0 {
 		t.Fatalf("async cell skipped nothing: %+v", rep.AsyncCell)
+	}
+	if rep.SparseCell == nil {
+		t.Fatal("artifact has no sparse-regime cell")
+	}
+	if !rep.SparseCell.Identical {
+		t.Fatalf("sparse cell reports divergent results: %+v", rep.SparseCell)
+	}
+	if rep.SparseCell.SparseRounds != int64(rep.SparseCell.Rounds) {
+		t.Fatalf("sparse cell ran off-regime rounds: %+v", rep.SparseCell)
+	}
+	if rep.SparseCell.Speedup <= 1 {
+		t.Fatalf("sparse walker slower than the dense tree: %+v", rep.SparseCell)
 	}
 	// 2 sizes × 3 kernels × 2 schedules.
 	if len(rep.Cells) != 12 {

@@ -77,6 +77,7 @@ func run(args []string) error {
 		aBias    = fs.Float64("abias", 0.2, "consensus: majority-bias of the initial set")
 		crash    = fs.Float64("crash", 0, "crash each agent at round 0 with this probability (agent 0 is protected)")
 		shards   = fs.Int("shards", 0, "sharded-kernel workers (0 = all cores, 1 = serial; results are identical for every value)")
+		sparse   = fs.Int("sparse-cutover", 0, "keyed sparse-walker executor cutover (0 = default k*64 < n, -1 = disable the walker; results are identical for every value)")
 		jsonOut  = fs.Bool("json", false, "emit the api.RunResponse JSON on stdout (commentary on stderr)")
 		phases   = fs.Bool("phases", false, "arm a telemetry probe and report the kernel phase decomposition (byte-inert: the response does not change)")
 	)
@@ -102,6 +103,7 @@ func run(args []string) error {
 		Kernel:         *kernel,
 		Schedule:       *draws,
 		Shards:         *shards,
+		SparseCutover:  *sparse,
 	}
 	built, err := req.Build()
 	if err != nil {

@@ -129,6 +129,15 @@ type RunRequest struct {
 	// this cannot change the result either; excluded from the hash and
 	// from the canonical request.
 	TraceEvery int `json:"trace_every,omitempty"`
+	// SparseCutover steers the keyed sparse walker's executor cutover
+	// (sim.Config.SparseCutover): 0 = the default k·64 < n ratio, a
+	// positive value substitutes its own ratio, -1 disables the walker
+	// so the dense sweep runs every tree-eligible round. A pure
+	// performance knob like Shards — the walker reproduces the dense
+	// sweep's bits exactly, and even the sparse path accounting uses the
+	// fixed default ratio — so it is excluded from the hash and from the
+	// canonical request.
+	SparseCutover int `json:"sparse_cutover,omitempty"`
 }
 
 // Normalize resolves defaults in place so that requests meaning the same
@@ -217,6 +226,9 @@ func (r RunRequest) Validate() error {
 	if r.TraceEvery < 0 {
 		return fmt.Errorf("api: negative trace_every %d", r.TraceEvery)
 	}
+	if r.SparseCutover < -1 {
+		return fmt.Errorf("api: sparse_cutover %d < -1 (use -1 to disable the sparse walker)", r.SparseCutover)
+	}
 	return nil
 }
 
@@ -231,6 +243,7 @@ func (r RunRequest) Canonical() RunRequest {
 	r.Shards = 0
 	r.TrajectoryEvery = 0
 	r.TraceEvery = 0
+	r.SparseCutover = 0
 	if r.Schedule == ScheduleKeyed {
 		// Keyed draws are addressed, not consumed: every kernel replays
 		// the identical schedule, so the kernel choice is pure perf.
@@ -344,6 +357,7 @@ func (r RunRequest) Build() (*Run, error) {
 		AllowSelfMessages: !r.NoSelfMessages,
 		DropProb:          r.DropProb,
 		Shards:            r.Shards,
+		SparseCutover:     r.SparseCutover,
 	}
 	switch r.Kernel {
 	case KernelBatched:

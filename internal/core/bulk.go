@@ -2,61 +2,51 @@ package core
 
 import "breathe/internal/channel"
 
-// Batched-kernel support (sim.BulkProtocol). The protocol's sender set is
-// a pure function of (activated, level, hasOpinion, opinion), all of which
-// change only at phase boundaries — "breathe before speaking" means an
-// agent contacted during a phase stays silent until a later phase, and
-// opinions update in EndRound of a phase's last round. BulkSenders
-// therefore rebuilds the sender lists once per phase and serves the cached
-// slices for every round inside it.
+// Batched-kernel support (sim.BulkProtocol, sim.SenderIndex). The
+// protocol's sender set is a pure function of (activated, level,
+// hasOpinion, opinion), all of which change only at phase boundaries —
+// "breathe before speaking" means an agent contacted during a phase
+// stays silent until a later phase, and opinions update in EndRound of
+// a phase's last round. The sender lists are therefore maintained
+// incrementally by the phase-finalization loops (see endStageIPhase /
+// endStageIIPhase): Stage I's eligible set after a boundary is every
+// opinionated agent (an agent's activation level never exceeds the
+// finished phase), Stage II's is the same, so one index serves both.
+// BulkSenders and ActiveSenders are O(1) lookups with no population
+// scan anywhere on the query path.
 //
 // The one exception is the NoBreathe ablation, whose agents start
-// forwarding in the round after their activation; BulkEnabled reports
+// forwarding in the round after their activation — a mid-phase sender
+// change the boundary-maintained index cannot see; BulkEnabled reports
 // false for it and the engine keeps the per-agent path.
 
 // BulkEnabled implements sim.BulkProtocol.
 func (p *Protocol) BulkEnabled() bool { return !p.variant.NoBreathe }
 
 // BulkSenders implements sim.BulkProtocol: the agents transmitting in
-// round, grouped by the bit they send (their current opinion).
+// round, grouped by the bit they send (their current opinion). Served
+// from the maintained index; both lists are ascending by agent id.
 func (p *Protocol) BulkSenders(round int) (zeros, ones []int32) {
 	p.ensurePhase(round)
 	if !p.curOK {
 		return nil, nil
 	}
-	if !p.sendersValid || p.sendersRef != p.curRef {
-		p.rebuildSenders()
-	}
-	return p.sendZeros, p.sendOnes
+	return p.idxZeros, p.idxOnes
 }
 
-// rebuildSenders scans the population once and caches the senders of the
-// current phase. Stage I: opinionated agents activated in an earlier
-// phase (level < phase index). Stage II: every opinionated agent.
-func (p *Protocol) rebuildSenders() {
-	if p.sendZeros == nil {
-		p.sendZeros = make([]int32, 0, p.n)
-		p.sendOnes = make([]int32, 0, p.n)
+// ActiveSenders implements sim.SenderIndex: the declared sender-set
+// size of round, before any crash filtering — always the total length
+// of the BulkSenders lists. The lookup draws nothing (breathevet proves
+// it), so the engine may consult it on every round of every kernel
+// without perturbing the schedule.
+//
+//breathe:drawfree
+func (p *Protocol) ActiveSenders(round int) int {
+	p.ensurePhase(round)
+	if !p.curOK {
+		return 0
 	}
-	p.sendZeros = p.sendZeros[:0]
-	p.sendOnes = p.sendOnes[:0]
-	stageI := p.curRef.Stage == StageI
-	idx := int32(p.curRef.Index)
-	for a := 0; a < p.n; a++ {
-		if !p.hasOpinion[a] {
-			continue
-		}
-		if stageI && !(p.level[a] < idx) {
-			continue
-		}
-		if p.opinion[a] == channel.Zero {
-			p.sendZeros = append(p.sendZeros, int32(a))
-		} else {
-			p.sendOnes = append(p.sendOnes, int32(a))
-		}
-	}
-	p.sendersRef = p.curRef
-	p.sendersValid = true
+	return len(p.idxZeros) + len(p.idxOnes)
 }
 
 // BulkDeliver implements sim.BulkProtocol: one receiveOne per accepted

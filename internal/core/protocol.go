@@ -52,12 +52,15 @@ type Protocol struct {
 	// bit<<32 | 1 per accepted message exactly like receiveOne does.
 	acc []uint64
 
-	// Sender cache for the batched kernel: the sender set and the bits
-	// sent are constant within a phase (opinions change only at phase
-	// boundaries), so BulkSenders rebuilds these slices once per phase.
-	sendZeros, sendOnes []int32
-	sendersRef          PhaseRef
-	sendersValid        bool
+	// Maintained sender index (sim.SenderIndex): the sender set and the
+	// bits sent are constant within a phase (opinions change only at
+	// phase boundaries), so the phase-finalization loops — which already
+	// visit every agent — keep these lists current incrementally, and
+	// BulkSenders/ActiveSenders serve them in O(1) with no population
+	// scan. Both lists stay ascending by agent id: the legacy batched
+	// kernel consumes its draws in list order, so the order is pinned by
+	// the goldens.
+	idxZeros, idxOnes []int32
 
 	// Cached phase lookup for the round currently executing.
 	curRound int
@@ -153,20 +156,22 @@ func (p *Protocol) SetDrawKey(k rng.Key) {
 	p.hasKey = true
 }
 
-// Setup implements sim.Protocol.
+// Setup implements sim.Protocol. Re-Setup reuses every per-agent array
+// and the sender index's capacity: a warm protocol value allocates
+// nothing here (senderindex_test.go pins it).
 func (p *Protocol) Setup(n int, r *rng.RNG) {
 	if n != p.params.N {
 		panic(fmt.Sprintf("core: engine population %d != params.N %d", n, p.params.N))
 	}
 	p.n = n
 	p.rng = r
-	p.activated = make([]bool, n)
-	p.level = make([]int32, n)
-	p.opinion = make([]channel.Bit, n)
-	p.hasOpinion = make([]bool, n)
-	p.acc = make([]uint64, n)
-	p.sendZeros, p.sendOnes = nil, nil
-	p.sendersValid = false
+	p.activated = resize(p.activated, n)
+	p.level = resize(p.level, n)
+	p.opinion = resize(p.opinion, n)
+	p.hasOpinion = resize(p.hasOpinion, n)
+	p.acc = resize(p.acc, n)
+	p.idxZeros = p.idxZeros[:0]
+	p.idxOnes = p.idxOnes[:0]
 	p.curRound = -1
 
 	pre := p.preActivatedLevel()
@@ -180,12 +185,35 @@ func (p *Protocol) Setup(n int, r *rng.RNG) {
 			} else {
 				p.opinion[a] = p.target.Flip()
 			}
+			p.indexAdd(a)
 		}
 	} else {
 		p.activated[0] = true
 		p.level[0] = pre
 		p.hasOpinion[0] = true
 		p.opinion[0] = p.target
+		p.indexAdd(0)
+	}
+}
+
+// resize returns s with length n and every element zeroed, reusing the
+// backing array whenever it is large enough.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// indexAdd appends opinionated agent a to the sender index. Callers
+// append in ascending agent order, which keeps both lists sorted.
+func (p *Protocol) indexAdd(a int) {
+	if p.opinion[a] == channel.Zero {
+		p.idxZeros = append(p.idxZeros, int32(a))
+	} else {
+		p.idxOnes = append(p.idxOnes, int32(a))
 	}
 }
 
@@ -271,7 +299,6 @@ func (p *Protocol) EndRound(round int) {
 	if !p.curOK || !p.curLast {
 		return
 	}
-	p.sendersValid = false // sender set may change at the phase boundary
 	switch p.curRef.Stage {
 	case StageI:
 		p.endStageIPhase(round)
@@ -292,33 +319,40 @@ func (p *Protocol) endStageIPhase(round int) {
 	cur := int32(p.curRef.Index)
 	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round))
 	newly, correct := 0, 0
+	// The sender index for the next phase — every opinionated agent, the
+	// just-finalized layer included — is rebuilt inside this loop: the
+	// boundary already visits the whole population in ascending order, so
+	// maintenance costs no extra scan and the lists stay sorted.
+	p.idxZeros, p.idxOnes = p.idxZeros[:0], p.idxOnes[:0]
 	for a := 0; a < p.n; a++ {
-		if !p.activated[a] || p.level[a] != cur {
-			continue
-		}
-		if !p.hasOpinion[a] {
-			var u uint64
-			if p.hasKey {
-				u = cell.Uint64n(uint64(a), p.acc[a]&accTotalMask)
-			} else {
-				u = p.rng.Uint64n(p.acc[a] & accTotalMask)
+		if p.activated[a] && p.level[a] == cur {
+			if !p.hasOpinion[a] {
+				var u uint64
+				if p.hasKey {
+					u = cell.Uint64n(uint64(a), p.acc[a]&accTotalMask)
+				} else {
+					u = p.rng.Uint64n(p.acc[a] & accTotalMask)
+				}
+				var bit channel.Bit
+				if u < p.acc[a]>>32 {
+					bit = channel.One
+				} else {
+					bit = channel.Zero
+				}
+				p.opinion[a] = bit
+				p.hasOpinion[a] = true
 			}
-			var bit channel.Bit
-			if u < p.acc[a]>>32 {
-				bit = channel.One
-			} else {
-				bit = channel.Zero
+			// NoBreathe agents already committed at activation; they are
+			// still counted as this phase's layer.
+			newly++
+			if p.opinion[a] == p.target {
+				correct++
 			}
-			p.opinion[a] = bit
-			p.hasOpinion[a] = true
+			p.acc[a] = 0
 		}
-		// NoBreathe agents already committed at activation; they are
-		// still counted as this phase's layer.
-		newly++
-		if p.opinion[a] == p.target {
-			correct++
+		if p.hasOpinion[a] {
+			p.indexAdd(a)
 		}
-		p.acc[a] = 0
 	}
 	cum := 0
 	if k := len(p.telem.StageI); k > 0 {
@@ -370,6 +404,10 @@ func (p *Protocol) endStageIIPhase(round int) {
 	g := p.subsetSize()
 	cell := p.drawKey.Cell(rng.StreamSchedule, uint64(round)) //breathe:stream-ok a round ends at most one phase, and that phase is Stage I or Stage II, never both
 	successful, correct := 0, 0
+	// Rebuild the sender index for the next phase inside the existing
+	// full-population boundary loop, as in endStageIPhase: Stage II
+	// senders are exactly the opinionated agents.
+	p.idxZeros, p.idxOnes = p.idxZeros[:0], p.idxOnes[:0]
 	for a := 0; a < p.n; a++ {
 		total := int(p.acc[a] & accTotalMask)
 		ones := int(p.acc[a] >> 32)
@@ -415,8 +453,11 @@ func (p *Protocol) endStageIIPhase(round int) {
 			p.hasOpinion[a] = true
 		}
 		p.acc[a] = 0
-		if p.hasOpinion[a] && p.opinion[a] == p.target {
-			correct++
+		if p.hasOpinion[a] {
+			p.indexAdd(a)
+			if p.opinion[a] == p.target {
+				correct++
+			}
 		}
 	}
 	_, start, length := p.currentSpan(round)

@@ -25,6 +25,10 @@ package sim
 //	tree     exchangeable rounds (self-messages + uniform noise +
 //	         accumulator delivery) at dense scale: exact per-bucket
 //	         multinomial splits, in-bucket placement, branchless resolve
+//	sparse   tree-eligible rounds whose protocol declares a small active
+//	         set (SenderIndex, k·64 < n): the same tree round executed
+//	         event-driven — occupied buckets and touched slots only —
+//	         in O(k + messages) instead of Θ(n) (see sparse.go)
 //
 // Config.Kernel then only chooses the mechanism: per-agent collection and
 // delivery (Send/Receive — the reference interface) versus bulk collection
@@ -75,6 +79,13 @@ type keyedState struct {
 	runs     []denseRun
 	buckets  int
 	workers  int
+
+	// Sparse-regime state: the protocol's declared-active-set oracle
+	// (nil when the protocol maintains no index) and the walker's
+	// occupied-bucket / touched-slot scratch. See sparse.go.
+	senderIdx     SenderIndex
+	sparseOcc     []sparseBucket
+	sparseTouched []int32
 }
 
 // keyedBucketOrder is a test hook: when non-nil, the serial tree execution
@@ -115,7 +126,12 @@ func (e *Engine) prepareKeyed(p Protocol) BulkProtocol {
 	b.accs = bp.BulkAccumulators()
 	b.noiseThresh = k.noiseThresh
 	b.denseOK = e.cfg.AllowSelfMessages && uniform && b.accs != nil
+	k.senderIdx = nil
 	if b.denseOK {
+		// The sparse regime refines tree-eligible rounds only, so the
+		// index oracle is consulted exactly when the tree could run —
+		// identically under every kernel.
+		k.senderIdx, _ = p.(SenderIndex)
 		k.vshards = numShards(e.cfg.N)
 		k.buckets = (e.cfg.N + denseWidth - 1) / denseWidth
 		if cap(k.kc0) < k.buckets {
@@ -178,16 +194,31 @@ func (e *Engine) stepKeyed(p Protocol, bp BulkProtocol) (quiet bool) {
 		e.paths.PerAgent++
 		e.keyedScatter(p, nil, false, zeros, ones, round)
 	case e.bulk.denseOK && m >= denseMinMessages && bp.BulkAccumulate(round):
-		// The dense/sharded accounting split matches the legacy predicate —
-		// a pure function of (n, m) — so path counters agree byte-for-byte
-		// across kernels and worker counts.
+		// The sparse/dense/sharded accounting split is a pure function of
+		// (n, m, declared active set) — the sparse leg consults the
+		// protocol's SenderIndex, never the kernel — so path counters
+		// agree byte-for-byte across kernels, worker counts and the
+		// SparseCutover knob. The executor choice below is the only thing
+		// the knob steers, and the walker reproduces the tree's bits
+		// exactly (sparse.go).
+		declared := -1
+		if k.senderIdx != nil {
+			declared = k.senderIdx.ActiveSenders(round)
+		}
 		sharded := k.vshards >= 2 && m >= shardMinMessages
-		if sharded {
+		switch {
+		case e.sparseAccounted(declared):
+			e.paths.Sparse++
+		case sharded:
 			e.paths.Sharded++
-		} else {
+		default:
 			e.paths.Dense++
 		}
-		e.keyedTree(len(zeros), len(ones), round, sharded)
+		if e.sparseExec(declared) {
+			e.keyedSparse(len(zeros), len(ones), round)
+		} else {
+			e.keyedTree(len(zeros), len(ones), round, sharded)
+		}
 	default:
 		e.paths.PerMessage++
 		e.keyedScatter(p, bp, bulkCollect, zeros, ones, round)

@@ -219,6 +219,15 @@ type Config struct {
 	// already parallelize across seeds (RunSeeds) typically set Shards: 1
 	// to avoid oversubscription.
 	Shards int
+	// SparseCutover steers the sparse walker's executor cutover under the
+	// keyed schedule (see sparse.go): 0 (the default) runs the walker on
+	// tree-eligible rounds whose declared active set k satisfies
+	// k·64 < n, a positive value substitutes its own ratio (k·c < n), and
+	// -1 disables the walker so the dense sweep runs every such round. A
+	// pure performance knob like Shards: results are bit-identical for
+	// every value, and the sparse *accounting* in Result.Paths always uses
+	// the fixed default ratio, so the counters never move either.
+	SparseCutover int
 }
 
 func (c Config) validate() error {
@@ -239,6 +248,9 @@ func (c Config) validate() error {
 	}
 	if c.ObserverEvery < 0 {
 		return fmt.Errorf("sim: negative ObserverEvery %d", c.ObserverEvery)
+	}
+	if c.SparseCutover < -1 {
+		return fmt.Errorf("sim: SparseCutover %d < -1 (use -1 to disable the sparse walker)", c.SparseCutover)
 	}
 	if c.DrawSchedule != ScheduleLegacy && c.DrawSchedule != ScheduleKeyed {
 		return fmt.Errorf("sim: unknown draw schedule %d", c.DrawSchedule)
@@ -269,23 +281,29 @@ type PathRounds struct {
 	Dense int64 `json:"dense,omitempty"`
 	// Sharded counts dense rounds executed across the virtual shards.
 	Sharded int64 `json:"sharded,omitempty"`
+	// Sparse counts tree-eligible rounds whose protocol declared a small
+	// active set (SenderIndex with k·64 < n, keyed schedule only). Like
+	// every other counter the accounting is kernel-independent; whether
+	// the sparse walker or the dense sweep executed the round is a pure
+	// performance choice (Config.SparseCutover) that never moves it.
+	Sparse int64 `json:"sparse,omitempty"`
 }
 
 // Total returns the number of rounds counted.
 func (p PathRounds) Total() int64 {
-	return p.PerAgent + p.Quiet + p.PerMessage + p.Dense + p.Sharded
+	return p.PerAgent + p.Quiet + p.PerMessage + p.Dense + p.Sharded + p.Sparse
 }
 
 // Primary names the path that executed the most rounds, ignoring Quiet
 // rounds (every protocol breathes; the question is what runs when it
-// speaks). Returns "per-agent", "per-message", "dense", "sharded", or
-// "quiet" when no round carried a message.
+// speaks). Returns "per-agent", "per-message", "dense", "sharded",
+// "sparse", or "quiet" when no round carried a message.
 func (p PathRounds) Primary() string {
 	name, best := "quiet", int64(0)
 	for _, c := range []struct {
 		name string
 		n    int64
-	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}} {
+	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}, {"sparse", p.Sparse}} {
 		if c.n > best {
 			name, best = c.name, c.n
 		}
@@ -300,7 +318,7 @@ func (p PathRounds) String() string {
 	for _, c := range []struct {
 		name string
 		n    int64
-	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}, {"quiet", p.Quiet}} {
+	}{{"per-agent", p.PerAgent}, {"per-message", p.PerMessage}, {"dense", p.Dense}, {"sharded", p.Sharded}, {"sparse", p.Sparse}, {"quiet", p.Quiet}} {
 		if c.n == 0 {
 			continue
 		}
@@ -707,6 +725,8 @@ func regimeOf(before, after PathRounds) telemetry.Regime {
 		return telemetry.RegimeDense
 	case after.Sharded > before.Sharded:
 		return telemetry.RegimeSharded
+	case after.Sparse > before.Sparse:
+		return telemetry.RegimeSparse
 	default:
 		return telemetry.RegimePerAgent
 	}

@@ -1,0 +1,295 @@
+package sim
+
+// The keyed sparse regime: event-driven execution of tree rounds.
+//
+// A dense tree round costs Θ(n) regardless of how many messages fly —
+// every bucket's split is drawn, every slot of every bucket is resolved.
+// That floor is invisible at full blast and dominant in sparse-activity
+// rounds: early rumor spreading, phase tails, crash-thinned populations.
+// When a protocol declares its active-set size up front (SenderIndex)
+// and the declared k is small against n, the engine runs the same tree
+// round with a walker that touches only what the round actually uses:
+//
+//   - the conditional-binomial split chain stops as soon as every
+//     message is assigned (rng.Binomial(0, p) draws nothing, and each
+//     bucket's variates come from its own addressed sub-cell, so the
+//     skipped tail is deterministically all-zero);
+//   - only occupied buckets are entered, and within a bucket only the
+//     slots the placements actually hit are resolved, tracked by a
+//     touched list instead of a full-bucket sweep.
+//
+// Every draw the walker makes is the same addressed draw the dense
+// sweep would have made — placement words by word index, accept-one and
+// noise by slot, deferred resolution by slot — and untouched slots are
+// state-free by construction (their accumulator delta is zero and their
+// crash plan is never consulted, exactly as in the dense sweep's
+// occ == 0 arm). Results are therefore bit-identical with keyedTree;
+// sparse_test.go pins it across kernels, shard counts and crash plans.
+//
+// Like the dense/sharded split, the *accounting* (PathRounds.Sparse) is
+// a fixed pure function of (declared k, n, message count, protocol
+// capability) — never of Config.Kernel or any performance knob — so
+// path counters agree byte-for-byte across every execution choice.
+// Config.SparseCutover only steers which executor runs the round.
+
+import (
+	"breathe/internal/rng"
+	"breathe/internal/telemetry"
+)
+
+// SenderIndex is an optional BulkProtocol capability: the protocol
+// maintains its active set incrementally and can report its size in O(1)
+// (or O(active classes)) instead of being scanned. ActiveSenders(round)
+// must equal the total length of the BulkSenders(round) lists — the
+// declared sender set before any crash filtering — whenever BulkEnabled
+// holds. The engine uses the declared size only to pick the round's
+// sampling regime, identically under every kernel; it never replaces the
+// sender lists themselves.
+type SenderIndex interface {
+	ActiveSenders(round int) int
+}
+
+// sparseRegimeCutover is the fixed k-vs-n ratio of the sparse regime
+// accounting: a tree-eligible round counts as sparse when the declared
+// active set satisfies k·64 < n, i.e. under one sender per 64 agents the
+// dense sweep visits ≥ 64 slots per live message and the walker wins by
+// a wide margin. The constant is part of the accounting function and
+// deliberately not configurable — Config.SparseCutover overrides only
+// the executor choice.
+const sparseRegimeCutover = 64
+
+// sparseBucket records one occupied bucket of a sparse round's split:
+// bucket j received c0 zero-messages and c1 one-messages.
+type sparseBucket struct {
+	j, c0, c1 int32
+}
+
+// sparseAccounted is the sparse regime's accounting predicate for a
+// tree-eligible round (see stepKeyed): a pure function of the declared
+// active-set size and n, independent of kernel, shard count and the
+// SparseCutover knob.
+func (e *Engine) sparseAccounted(declared int) bool {
+	return declared >= 0 && int64(declared)*sparseRegimeCutover < int64(e.cfg.N)
+}
+
+// sparseExec decides whether the walker executes this sparse-eligible
+// round. Pure performance: Config.SparseCutover < 0 disables the walker
+// (the dense sweep runs, bits unchanged), 0 applies the default ratio,
+// and a positive value substitutes its own k-vs-n ratio.
+func (e *Engine) sparseExec(declared int) bool {
+	if declared < 0 || e.cfg.SparseCutover < 0 {
+		return false
+	}
+	cut := int64(e.cfg.SparseCutover)
+	if cut == 0 {
+		cut = sparseRegimeCutover
+	}
+	return int64(declared)*cut < int64(e.cfg.N)
+}
+
+// keyedSparse executes one tree round by walking only its active part:
+// the split chain up to the last message, then the occupied buckets'
+// touched slots. Draw-for-draw identical to keyedTree + keyedBucket —
+// every cell, counter and retry below mirrors a line there.
+func (e *Engine) keyedSparse(m0, m1, round int) {
+	k := e.keyed
+	e.denseStampAdvance()
+
+	if q := e.cfg.DropProb; q > 0 {
+		cDrop := e.key.Cell(rng.StreamDrop, uint64(round)) //breathe:stream-ok sparse walker and dense tree are alternative executors of the same round; stepKeyed runs exactly one, with identical addressing
+		var rr rng.RNG
+		rr.Reseed(cDrop.Uint64(0))
+		d0 := rr.Binomial(m0, q)
+		rr.Reseed(cDrop.Uint64(1))
+		d1 := rr.Binomial(m1, q)
+		e.dropped += int64(d0 + d1)
+		m0 -= d0
+		m1 -= d1
+	}
+	placed := m0 + m1
+
+	// The same conditional-binomial chain as keyedTree, stopped at the
+	// last assigned message: every remaining bucket's Binomial(0, ·)
+	// returns zero without touching its sub-cell, so the tail is free
+	// and deterministically empty.
+	cSplit := e.key.Cell(rng.StreamSplit, uint64(round)) //breathe:stream-ok sparse walker and dense tree are alternative executors of the same round; stepKeyed runs exactly one, with identical addressing
+	nB := k.buckets
+	rem0, rem1 := m0, m1
+	slotsLeft := e.cfg.N
+	occ := k.sparseOcc[:0]
+	for j := 0; j < nB && rem0+rem1 > 0; j++ {
+		bsize := denseWidth
+		if (j+1)*denseWidth > e.cfg.N {
+			bsize = e.cfg.N - j*denseWidth
+		}
+		var c0, c1 int
+		if bsize == slotsLeft {
+			c0, c1 = rem0, rem1
+		} else {
+			pb := float64(bsize) / float64(slotsLeft)
+			cs := cSplit.Sub(uint64(j))
+			var rr rng.RNG
+			rr.Reseed(cs.Uint64(0))
+			c0 = rr.Binomial(rem0, pb)
+			rr.Reseed(cs.Uint64(1))
+			c1 = rr.Binomial(rem1, pb)
+		}
+		rem0 -= c0
+		rem1 -= c1
+		slotsLeft -= bsize
+		if c0+c1 > 0 {
+			occ = append(occ, sparseBucket{int32(j), int32(c0), int32(c1)})
+		}
+	}
+	k.sparseOcc = occ
+	e.mark(telemetry.PhasePlacement)
+
+	// Occupied buckets execute serially: the whole point of the regime
+	// is that there is too little work to shard.
+	d := &k.runs[0]
+	d.accepted = 0
+	for _, ob := range occ {
+		e.sparseWalkBucket(d, int(ob.j), int(ob.c0), int(ob.c1), round)
+	}
+	e.mark(telemetry.PhaseCollision)
+	e.denseRoundEnd(placed, d.accepted)
+}
+
+// sparseWalkBucket places and resolves one occupied bucket, visiting
+// only the slots the placements hit. The placement draws replicate
+// keyedBucket exactly — the bulk path pre-fills the bucket's placement
+// words with Cell.Fill, whose word w is by definition cp.Uint64(w), so
+// computing the words on demand consumes the same addresses — and the
+// resolve of a touched slot i reads the same cc.Uint64(i) base word the
+// full-bucket sweep reads at rbuf[i]. Untouched slots carry a stale
+// stamp: the sweep's occ == 0 arm adds zero to their accumulators,
+// draws nothing fresh for them, and never consults the crash plan
+// (occ == 1 short-circuits first), so skipping them is exact.
+func (e *Engine) sparseWalkBucket(d *denseRun, j, c0, c1, round int) {
+	b := e.bulk
+	k := e.keyed
+	n := e.cfg.N
+	blo := j * denseWidth
+	bsize := denseWidth
+	if blo+bsize > n {
+		bsize = n - blo
+	}
+
+	d.spill = d.spill[:0]
+	d.deferred = d.deferred[:0]
+
+	stamp := b.dStamp
+	thresh := b.noiseThresh
+	f := e.cfg.Failures
+
+	cp := e.key.Cell(rng.StreamPlacement, uint64(round)).Sub(uint64(j)) //breathe:stream-ok sparse walker and dense tree are alternative executors of the same round; stepKeyed runs exactly one, with identical addressing
+	cc := e.key.Cell(rng.StreamCollision, uint64(round)).Sub(uint64(j)) //breathe:stream-ok sparse walker and dense tree are alternative executors of the same round; stepKeyed runs exactly one, with identical addressing
+
+	inbox := b.dInbox[blo : blo+bsize : blo+bsize]
+	touched := k.sparseTouched[:0]
+	if bsize&(bsize-1) == 0 {
+		nd0 := (c0 + 3) / 4
+		touched = d.sparsePlacePow2(stamp, blo, inbox, c0, 1, cp, 0, touched)
+		touched = d.sparsePlacePow2(stamp, blo, inbox, c1, 1<<12|1, cp, uint64(nd0), touched)
+	} else {
+		touched = d.sparsePlaceAny(stamp, blo, inbox, c0, 1, cp, 0, touched)
+		touched = d.sparsePlaceAny(stamp, blo, inbox, c1, 1<<12|1, cp, uint64(c0), touched)
+	}
+	k.sparseTouched = touched
+
+	accSlice := b.accs[blo : blo+bsize : blo+bsize]
+	accepted := int64(0)
+	for _, ti := range touched {
+		i := int(ti)
+		v := inbox[i]
+		cnt := uint64(v & 0xfff)
+		on := uint64(v >> 12 & 0xfff)
+		if f != nil && f.Crashed(blo+i, round) {
+			continue
+		}
+		if cnt >= 2048 {
+			d.deferred = append(d.deferred, int32(i))
+			continue
+		}
+		x := cc.Uint64(uint64(i))
+		prod := (x & 2047) * cnt
+		if prod&2047 < cnt && on != 0 && on != cnt {
+			x, prod = keyedRedraw(cc, uint64(i), x, prod, cnt)
+		}
+		bit := uint64(0)
+		if prod>>11 < on {
+			bit = 1
+		}
+		if x>>11 < thresh {
+			bit ^= 1
+		}
+		accSlice[i] += bit<<32 | 1
+		accepted++
+	}
+	d.accepted += accepted
+
+	for _, t := range d.deferred {
+		e.keyedResolveDeferred(d, cc, blo, int(t))
+		d.accepted++
+	}
+}
+
+// sparsePlacePow2 is placePow2 with on-demand placement words and a
+// touched-slot list: word w of the class's placement words (wbase + w
+// in the bucket's placement cell) carries four 16-bit lanes, consumed
+// low-first, exactly as the pre-filled draw buffer is consumed by the
+// dense sweep. A slot joins touched when its stamp is refreshed — each
+// slot therefore appears exactly once per round across both classes.
+func (d *denseRun) sparsePlacePow2(stamp uint32, lo int, inbox []uint32, k int, inc uint32, cp rng.Cell, wbase uint64, touched []int32) []int32 {
+	st := stamp << 24
+	i := 0
+	for w := uint64(0); i < k; w++ {
+		x := cp.Uint64(wbase + w)
+		lanes := 4
+		if k-i < 4 {
+			lanes = k - i
+		}
+		for lane := 0; lane < lanes; lane++ {
+			slot := int(x) & (len(inbox) - 1)
+			x >>= 16
+			v := inbox[slot]
+			m := uint32(0)
+			if v>>24 == stamp {
+				m = ^uint32(0)
+			} else {
+				touched = append(touched, int32(slot))
+			}
+			nv := (v&m | st&^m) + inc
+			if nv&0xfff == 0 {
+				nv -= inc
+				d.spillAdd(int32(lo+slot), inc>>12)
+			}
+			inbox[slot] = nv
+		}
+		i += lanes
+	}
+	return touched
+}
+
+// sparsePlaceAny is keyedPlaceAny (the tail bucket's general-size
+// placement) with a touched-slot list; draws and writes are identical.
+func (d *denseRun) sparsePlaceAny(stamp uint32, lo int, inbox []uint32, k int, inc uint32, cp rng.Cell, off uint64, touched []int32) []int32 {
+	st := stamp << 24
+	for i := 0; i < k; i++ {
+		slot := int(cp.Uint32n(off+uint64(i), uint32(len(inbox))))
+		v := inbox[slot]
+		m := uint32(0)
+		if v>>24 == stamp {
+			m = ^uint32(0)
+		} else {
+			touched = append(touched, int32(slot))
+		}
+		nv := (v&m | st&^m) + inc
+		if nv&0xfff == 0 {
+			nv -= inc
+			d.spillAdd(int32(lo+slot), inc>>12)
+		}
+		inbox[slot] = nv
+	}
+	return touched
+}

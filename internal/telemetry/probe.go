@@ -54,11 +54,12 @@ const (
 	RegimePerMessage
 	RegimeDense
 	RegimeSharded
-	NumRegimes = int(RegimeSharded) + 1
+	RegimeSparse
+	NumRegimes = int(RegimeSparse) + 1
 )
 
 var regimeNames = [NumRegimes]string{
-	"per-agent", "quiet", "per-message", "dense", "sharded",
+	"per-agent", "quiet", "per-message", "dense", "sharded", "sparse",
 }
 
 // String returns the stable regime name used in traces and metric labels.
